@@ -1,0 +1,9 @@
+// Package repro is a Go reproduction of "Endurable Transient Inconsistency
+// in Byte-Addressable Persistent B+-Tree" (FAST 2018): the FAST and FAIR
+// algorithms, a simulated persistent-memory substrate, the paper's baseline
+// index structures, and a benchmark harness regenerating every figure.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root package holds only the figure benchmarks (bench_test.go).
+package repro

@@ -1,0 +1,104 @@
+// kvstore: a durable key-value store demonstrating the paper's core claim —
+// endurable transient inconsistency. It runs a write workload on a
+// crash-tracked pool, simulates a power failure at a random instant
+// (including mid-operation), and shows that
+//
+//  1. readers on the un-recovered image already see every committed write,
+//  2. the in-flight operation is atomic (fully applied or fully absent), and
+//  3. eager recovery restores pristine invariants without any log replay.
+//
+// Run with:
+//
+//	go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+func main() {
+	pool := pmem.New(pmem.Config{Size: 256 << 20, TrackCrashes: true})
+	th := pool.NewThread()
+	store, err := core.New(pool, th, core.Options{NodeSize: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: committed history.
+	committed := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64() % 10000
+		v := rng.Uint64()
+		if err := store.Insert(th, k, v); err != nil {
+			log.Fatal(err)
+		}
+		committed[k] = v
+	}
+	fmt.Printf("committed %d distinct keys\n", len(committed))
+
+	// Phase 2: start logging, run more writes, then "pull the plug" at a
+	// random point inside the logged tape. CrashRandom persists, per
+	// cache line, a random legal prefix of unflushed stores — the
+	// adversarial version of a real power failure.
+	pool.StartCrashLog()
+	var tail []uint64
+	for i := 0; i < 200; i++ {
+		k := 20000 + uint64(i)
+		tail = append(tail, k)
+		if err := store.Insert(th, k, k*3); err != nil {
+			log.Fatal(err)
+		}
+	}
+	point := rng.Intn(pool.LogLen())
+	img := pool.CrashImage(point, pmem.CrashRandom, rng)
+	fmt.Printf("simulated power failure at log event %d/%d\n", point, pool.LogLen())
+
+	// Phase 3: read the un-recovered image. No recovery has run: any
+	// half-shifted node is still in its transient state, and readers
+	// tolerate it via the duplicate-pointer check.
+	ith := img.NewThread()
+	crashed, err := core.Open(img, ith, core.Options{NodeSize: 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for k, v := range committed {
+		got, ok := crashed.Get(ith, k)
+		if !ok || got != v {
+			log.Fatalf("LOST committed key %d: got (%d,%v)", k, got, ok)
+		}
+	}
+	fmt.Printf("pre-recovery: all %d committed keys intact\n", len(committed))
+
+	survived := 0
+	for _, k := range tail {
+		if v, ok := crashed.Get(ith, k); ok {
+			if v != k*3 {
+				log.Fatalf("TORN write at key %d: %d", k, v)
+			}
+			survived++
+		}
+	}
+	fmt.Printf("pre-recovery: %d/%d in-flight-era writes survived, none torn\n", survived, len(tail))
+
+	// Phase 4: eager recovery (writers would also fix lazily) and
+	// continued operation.
+	if err := crashed.Recover(ith); err != nil {
+		log.Fatal(err)
+	}
+	if err := crashed.CheckInvariants(ith); err != nil {
+		log.Fatalf("post-recovery invariants: %v", err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if err := crashed.Insert(ith, 50000+i, i); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("post-recovery: invariants hold, %d keys total, store fully writable\n",
+		crashed.Len(ith))
+}

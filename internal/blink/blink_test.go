@@ -1,0 +1,175 @@
+package blink
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newTree(t testing.TB, opts Options) (*Tree, *pmem.Thread) {
+	t.Helper()
+	p := pmem.New(pmem.Config{Size: 128 << 20})
+	th := p.NewThread()
+	tr, err := New(p, th, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, th
+}
+
+func TestBasicOps(t *testing.T) {
+	tr, th := newTree(t, Options{})
+	for i := uint64(0); i < 5000; i++ {
+		if err := tr.Insert(th, i*2, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 5000; i++ {
+		if v, ok := tr.Get(th, i*2); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i*2, v, ok)
+		}
+		if _, ok := tr.Get(th, i*2+1); ok {
+			t.Fatalf("found missing key %d", i*2+1)
+		}
+	}
+	if err := tr.CheckInvariants(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	tr, th := newTree(t, Options{NodeSize: 256})
+	oracle := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for op := 0; op < 20000; op++ {
+		k := rng.Uint64() % 1500
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			v := rng.Uint64()
+			if err := tr.Insert(th, k, v); err != nil {
+				t.Fatal(err)
+			}
+			oracle[k] = v
+		case 5, 6:
+			_, want := oracle[k]
+			if got := tr.Delete(th, k); got != want {
+				t.Fatalf("Delete(%d) = %v want %v", k, got, want)
+			}
+			delete(oracle, k)
+		default:
+			want, wantOK := oracle[k]
+			got, ok := tr.Get(th, k)
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("Get(%d) = %d,%v want %d,%v", k, got, ok, want, wantOK)
+			}
+		}
+	}
+	if tr.Len(th) != len(oracle) {
+		t.Fatalf("Len = %d oracle %d", tr.Len(th), len(oracle))
+	}
+	if err := tr.CheckInvariants(th); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	tr, th := newTree(t, Options{})
+	for i := uint64(0); i < 3000; i++ {
+		tr.Insert(th, i*7, i)
+	}
+	var prev uint64
+	first := true
+	n := 0
+	tr.Scan(th, 700, 7000, func(k, v uint64) bool {
+		if k < 700 || k > 7000 {
+			t.Fatalf("out of range key %d", k)
+		}
+		if !first && k <= prev {
+			t.Fatal("unsorted scan")
+		}
+		prev, first = k, false
+		n++
+		return true
+	})
+	if n != 901 { // 700..7000 step 7
+		t.Fatalf("scan count %d want 901", n)
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	tr, th0 := newTree(t, Options{NodeSize: 256})
+	const stable = 4000
+	for i := uint64(0); i < stable; i++ {
+		tr.Insert(th0, i*2, i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := tr.Pool().NewThread()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 4000; i++ {
+				switch g % 3 {
+				case 0:
+					k := rng.Uint64()%(stable*2) | 1
+					if err := tr.Insert(th, k, k); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					k := (rng.Uint64() % stable) * 2
+					if v, ok := tr.Get(th, k); !ok || v != k/2 {
+						t.Errorf("Get(%d) = %d,%v", k, v, ok)
+						return
+					}
+				default:
+					k := rng.Uint64()%(stable*2) | 1
+					tr.Delete(th, k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	th := tr.Pool().NewThread()
+	if err := tr.CheckInvariants(th); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < stable; i++ {
+		if v, ok := tr.Get(th, i*2); !ok || v != i {
+			t.Fatalf("stable Get(%d) = %d,%v", i*2, v, ok)
+		}
+	}
+}
+
+func TestConcurrentRootGrowth(t *testing.T) {
+	tr, _ := newTree(t, Options{NodeSize: 128})
+	var wg sync.WaitGroup
+	const goroutines = 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			th := tr.Pool().NewThread()
+			for i := 0; i < 2000; i++ {
+				k := uint64(i*goroutines + g)
+				if err := tr.Insert(th, k, k+7); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	th := tr.Pool().NewThread()
+	if err := tr.CheckInvariants(th); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 2000*goroutines; k++ {
+		if v, ok := tr.Get(th, k); !ok || v != k+7 {
+			t.Fatalf("Get(%d) = %d,%v", k, v, ok)
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/pmem"
+)
+
+// Options configures a BTree.
+type Options struct {
+	// NodeSize is the node size in bytes (multiple of 64, >= 128).
+	// Default 512, the sweet spot found in Figure 3 of the paper.
+	NodeSize int
+	// RootSlot selects which pool root-pointer slot anchors this tree,
+	// letting several trees share one pool (TPC-C uses this). Default 0.
+	RootSlot int
+	// LeafLocks makes readers take shared leaf latches, trading the
+	// lock-free search's read-uncommitted isolation for serializable
+	// point reads (the FAST+FAIR+LeafLock variant of Figure 7).
+	LeafLocks bool
+	// BinarySearch switches in-node search from the paper's linear scan
+	// to binary search. Binary search is incompatible with the lock-free
+	// protocol (it cannot honour the scan-direction rule), so it is for
+	// single-threaded use only — it exists to reproduce Figure 3.
+	BinarySearch bool
+	// LoggedSplit replaces FAIR with legacy redo-logged splits (the
+	// FAST+Logging baseline of Figure 5).
+	LoggedSplit bool
+	// InlineValues stores values directly in leaf records instead of
+	// boxing them into arena cells. This is the paper's own setup — leaf
+	// "pointers" are the values — and saves one allocation and one flush
+	// per insert, but the caller must guarantee that values are unique
+	// across the tree and non-zero: the duplicate-pointer protocol reads
+	// equal adjacent record pointers as invalidity, and a zero pointer as
+	// the array terminator. Insert rejects zero values in this mode.
+	InlineValues bool
+}
+
+func (o *Options) fill() error {
+	if o.NodeSize == 0 {
+		o.NodeSize = 512
+	}
+	if o.NodeSize < 128 || o.NodeSize%pmem.LineSize != 0 {
+		return fmt.Errorf("%w: NodeSize %d must be a multiple of %d and >= 128",
+			ErrBadOptions, o.NodeSize, pmem.LineSize)
+	}
+	if o.RootSlot < 0 || o.RootSlot > 7 {
+		return fmt.Errorf("%w: RootSlot %d out of range", ErrBadOptions, o.RootSlot)
+	}
+	return nil
+}
+
+// BTree is a FAST+FAIR persistent B+-tree over a pmem.Pool.
+//
+// All methods take a *pmem.Thread; concurrent use requires one Thread per
+// goroutine. Writers serialise per node with volatile latches; readers are
+// lock-free (or take shared leaf latches with Options.LeafLocks).
+type BTree struct {
+	pool       *pmem.Pool
+	opts       Options
+	nodeSize   int
+	slots      int // record slots per node
+	maxEntries int // slots - 1: the last slot always keeps a zero ptr
+	rootMu     sync.Mutex
+	splitLog   int64 // redo-log area for Options.LoggedSplit
+}
+
+// New creates an empty tree anchored at opts.RootSlot and persists it.
+func New(p *pmem.Pool, th *pmem.Thread, opts Options) (*BTree, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	t := newHandle(p, opts)
+	root, err := t.allocNode(th, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	th.Persist(root.off, int64(t.nodeSize))
+	p.SetRoot(th, opts.RootSlot, root.off)
+	if opts.LoggedSplit {
+		if err := t.initSplitLog(th); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Open attaches to a tree previously created in the pool (e.g. a crash
+// image). It performs no recovery; call Recover to repair transient
+// inconsistency eagerly, or rely on readers tolerating it and writers fixing
+// it lazily.
+func Open(p *pmem.Pool, th *pmem.Thread, opts Options) (*BTree, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	t := newHandle(p, opts)
+	if p.Root(th, opts.RootSlot) == 0 {
+		return nil, fmt.Errorf("%w: no tree at root slot %d", ErrCorrupt, opts.RootSlot)
+	}
+	if opts.LoggedSplit {
+		if err := t.initSplitLog(th); err != nil {
+			return nil, err
+		}
+		t.replaySplitLog(th)
+	}
+	return t, nil
+}
+
+func newHandle(p *pmem.Pool, opts Options) *BTree {
+	slots := (opts.NodeSize - headerBytes) / recordBytes
+	return &BTree{
+		pool:       p,
+		opts:       opts,
+		nodeSize:   opts.NodeSize,
+		slots:      slots,
+		maxEntries: slots - 1,
+	}
+}
+
+// Pool returns the backing pool.
+func (t *BTree) Pool() *pmem.Pool { return t.pool }
+
+// NodeSize returns the configured node size in bytes.
+func (t *BTree) NodeSize() int { return t.nodeSize }
+
+func (t *BTree) root(th *pmem.Thread) node {
+	return node{t.pool.Root(th, t.opts.RootSlot)}
+}
+
+// Height returns the number of levels (1 for a lone leaf).
+func (t *BTree) Height(th *pmem.Thread) int {
+	return t.level(th, t.root(th)) + 1
+}
+
+// pause backs off a spinlock loop.
+func pause(spins int) {
+	if spins%64 == 63 {
+		runtime.Gosched()
+	}
+}
+
+// --- descent -------------------------------------------------------------
+
+// descendToLeaf routes from the root to the leaf whose range covers key,
+// following sibling pointers across in-flight splits (B-link move-right).
+func (t *BTree) descendToLeaf(th *pmem.Thread, key uint64) node {
+	n := t.root(th)
+	for {
+		if sib := t.sibling(th, n); sib.valid() && key >= t.lowKey(th, sib) {
+			n = sib
+			continue
+		}
+		if t.level(th, n) == 0 {
+			return n
+		}
+		n = node{int64(t.routeChild(th, n, key))}
+	}
+}
+
+// scanBound returns the index of the first zero pointer — the terminator —
+// which upper-bounds right-to-left scans. In delete mode zero slots only
+// spread leftward, so a bound read before the scan stays valid during it;
+// stale non-zero slots *beyond* the terminator (pre-split leftovers, consumed
+// lazily by fastInsert) are never visited.
+func (t *BTree) scanBound(th *pmem.Thread, n node) int {
+	i := 0
+	for i < t.slots && t.ptrAt(th, n, i) != 0 {
+		i++
+	}
+	return i
+}
+
+// routeChild finds the child covering key in internal node n: the pointer of
+// the last valid entry with entryKey <= key, or the leftmost child when key
+// precedes every entry. It runs lock-free under the switch-counter protocol.
+func (t *BTree) routeChild(th *pmem.Thread, n node, key uint64) uint64 {
+	if t.opts.BinarySearch {
+		return t.routeChildBinary(th, n, key)
+	}
+	for {
+		sw := t.switchCtr(th, n)
+		var best uint64
+		found := false
+		if sw%2 == 0 {
+			// Insert direction: scan left to right. The left
+			// neighbour pointer is re-read inside the key
+			// double-read bracket: a stale value could validate an
+			// entry whose pointer still holds the left-duplicate of
+			// an in-flight insert.
+			for i := 0; i < t.slots; i++ {
+				k1 := t.keyAt(th, n, i)
+				p := t.ptrAt(th, n, i)
+				if p == 0 {
+					break
+				}
+				prev := t.leftPtrOf(th, n, i)
+				k2 := t.keyAt(th, n, i)
+				if k1 == k2 && p != prev && k1 <= key {
+					best, found = p, true
+				}
+			}
+		} else {
+			// Delete direction: scan right to left; first valid
+			// entry with entryKey <= key wins. The scan starts at
+			// the terminator, not the last slot: slots beyond it
+			// can hold stale pre-split entries (see fastInsert).
+			for i := t.scanBound(th, n) - 1; i >= 0; i-- {
+				p := t.ptrAt(th, n, i)
+				if p == 0 {
+					continue
+				}
+				k1 := t.keyAt(th, n, i)
+				prev := t.leftPtrOf(th, n, i)
+				k2 := t.keyAt(th, n, i)
+				if k1 == k2 && p != prev && k1 <= key {
+					best, found = p, true
+					break
+				}
+			}
+		}
+		if t.switchCtr(th, n) != sw {
+			continue
+		}
+		if !found {
+			return t.leftmost(th, n)
+		}
+		return best
+	}
+}
+
+// routeChildBinary is the Figure 3 binary-search variant (single-threaded).
+func (t *BTree) routeChildBinary(th *pmem.Thread, n node, key uint64) uint64 {
+	cnt := t.count(th, n)
+	lo, hi := 0, cnt // first entry with entryKey > key
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.keyAt(th, n, mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return t.leftmost(th, n)
+	}
+	return t.ptrAt(th, n, lo-1)
+}
+
+// --- point lookup ----------------------------------------------------------
+
+// Get returns the value stored under key.
+func (t *BTree) Get(th *pmem.Thread, key uint64) (uint64, bool) {
+	n := t.descendToLeaf(th, key)
+	for {
+		if t.opts.LeafLocks {
+			t.rlockNode(th, n)
+		}
+		box, found := t.leafFind(th, n, key)
+		var sib node
+		var right bool
+		if !found {
+			// The key may have moved right past us (in-flight
+			// split); chase the sibling while it can cover key.
+			sib = t.sibling(th, n)
+			right = sib.valid() && key >= t.lowKey(th, sib)
+		}
+		if t.opts.LeafLocks {
+			t.runlockNode(th, n)
+		}
+		if found {
+			if t.opts.InlineValues {
+				return box, true
+			}
+			return th.Load(int64(box)), true
+		}
+		if right {
+			n = sib
+			continue
+		}
+		return 0, false
+	}
+}
+
+// leafFind locates key's value box in leaf n using the lock-free protocol:
+// per-entry key double-read around the pointer reads, duplicate-pointer
+// validity, and whole-scan switch-counter revalidation (Algorithm 3).
+func (t *BTree) leafFind(th *pmem.Thread, n node, key uint64) (uint64, bool) {
+	if t.opts.BinarySearch {
+		return t.leafFindBinary(th, n, key)
+	}
+	for {
+		sw := t.switchCtr(th, n)
+		var box uint64
+		found := false
+		if sw%2 == 0 {
+			for i := 0; i < t.slots; i++ {
+				k1 := t.keyAt(th, n, i)
+				p := t.ptrAt(th, n, i)
+				if p == 0 {
+					break
+				}
+				prev := t.leftPtrOf(th, n, i)
+				k2 := t.keyAt(th, n, i)
+				if k1 == key && k2 == key && p != prev {
+					box, found = p, true
+					break
+				}
+			}
+		} else {
+			for i := t.scanBound(th, n) - 1; i >= 0; i-- {
+				p := t.ptrAt(th, n, i)
+				if p == 0 {
+					continue
+				}
+				k1 := t.keyAt(th, n, i)
+				prev := t.leftPtrOf(th, n, i)
+				k2 := t.keyAt(th, n, i)
+				if k1 == key && k2 == key && p != prev {
+					box, found = p, true
+					break
+				}
+			}
+		}
+		if t.switchCtr(th, n) != sw {
+			continue
+		}
+		return box, found
+	}
+}
+
+func (t *BTree) leafFindBinary(th *pmem.Thread, n node, key uint64) (uint64, bool) {
+	cnt := t.count(th, n)
+	lo, hi := 0, cnt
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.keyAt(th, n, mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < cnt && t.keyAt(th, n, lo) == key && t.ptrAt(th, n, lo) != t.leftPtrOf(th, n, lo) {
+		return t.ptrAt(th, n, lo), true
+	}
+	return 0, false
+}
+
+// --- range scan ------------------------------------------------------------
+
+// Scan visits key/value pairs with lo <= key <= hi in ascending key order,
+// calling fn for each; fn returning false stops the scan. Under concurrent
+// writes the scan has the paper's read-uncommitted semantics.
+func (t *BTree) Scan(th *pmem.Thread, lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi < lo {
+		return
+	}
+	n := t.descendToLeaf(th, lo)
+	var keys []uint64
+	var boxes []uint64
+	last := lo
+	first := true
+	for n.valid() {
+		if t.opts.LeafLocks {
+			t.rlockNode(th, n)
+		}
+		keys, boxes = t.leafCollect(th, n, keys[:0], boxes[:0])
+		sib := t.sibling(th, n)
+		if t.opts.LeafLocks {
+			t.runlockNode(th, n)
+		}
+		for i, k := range keys {
+			if k < lo || k > hi {
+				continue
+			}
+			// Monotonic filter: in-flight splits briefly expose an
+			// entry in both a node and its new sibling.
+			if !first && k <= last {
+				continue
+			}
+			last, first = k, false
+			v := boxes[i]
+			if !t.opts.InlineValues {
+				v = th.Load(int64(boxes[i]))
+			}
+			if !fn(k, v) {
+				return
+			}
+		}
+		if !sib.valid() || t.lowKey(th, sib) > hi {
+			return
+		}
+		n = sib
+	}
+}
+
+// leafCollect snapshots a leaf's valid entries in ascending order, with
+// switch-counter revalidation.
+func (t *BTree) leafCollect(th *pmem.Thread, n node, keys []uint64, boxes []uint64) ([]uint64, []uint64) {
+	for {
+		keys, boxes = keys[:0], boxes[:0]
+		sw := t.switchCtr(th, n)
+		if sw%2 == 0 {
+			for i := 0; i < t.slots; i++ {
+				k1 := t.keyAt(th, n, i)
+				p := t.ptrAt(th, n, i)
+				if p == 0 {
+					break
+				}
+				prev := t.leftPtrOf(th, n, i)
+				k2 := t.keyAt(th, n, i)
+				if k1 == k2 && p != prev {
+					keys = append(keys, k1)
+					boxes = append(boxes, p)
+				}
+			}
+		} else {
+			// Delete direction: scan right to left so a concurrent
+			// left-shift cannot move an entry past us, then reverse.
+			for i := t.scanBound(th, n) - 1; i >= 0; i-- {
+				p := t.ptrAt(th, n, i)
+				if p == 0 {
+					continue
+				}
+				k1 := t.keyAt(th, n, i)
+				prev := t.leftPtrOf(th, n, i)
+				k2 := t.keyAt(th, n, i)
+				if k1 == k2 && p != prev {
+					keys = append(keys, k1)
+					boxes = append(boxes, p)
+				}
+			}
+			for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {
+				keys[i], keys[j] = keys[j], keys[i]
+				boxes[i], boxes[j] = boxes[j], boxes[i]
+			}
+			// A right-to-left scan can observe the same logical
+			// entry at two slots mid-shift; drop adjacent
+			// duplicates (keep the later-observed, lower slot).
+			w := 0
+			for i := 0; i < len(keys); i++ {
+				if w > 0 && keys[w-1] == keys[i] {
+					continue
+				}
+				keys[w], boxes[w] = keys[i], boxes[i]
+				w++
+			}
+			keys, boxes = keys[:w], boxes[:w]
+		}
+		if t.switchCtr(th, n) == sw {
+			return keys, boxes
+		}
+	}
+}
+
+// Len counts the keys in the tree (a full scan; intended for tests and
+// examples, not hot paths).
+func (t *BTree) Len(th *pmem.Thread) int {
+	n := 0
+	t.Scan(th, 0, ^uint64(0), func(uint64, uint64) bool { n++; return true })
+	return n
+}

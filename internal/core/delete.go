@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/pmem"
+)
+
+// Delete removes key, reporting whether it was present.
+//
+// Deletion is the FAST left shift: the entry is first invalidated by
+// duplicating its left neighbour's pointer over its own (the atomic commit),
+// then the tail of the array shifts left one slot — key before pointer —
+// with cache lines flushed in shift order, and finally the old last slot's
+// pointer is zeroed, restoring the terminator.
+//
+// Emptied leaves stay in place: they keep routing their key range (searches
+// find nothing and correctly chase the sibling only when the sibling's low
+// fence allows), and Vacuum reclaims them offline. Value boxes are not
+// reused, so a lock-free reader that raced the delete still observes the
+// pre-delete value rather than recycled garbage.
+func (t *BTree) Delete(th *pmem.Thread, key uint64) bool {
+	th.BeginPhase(pmem.PhaseSearch)
+	defer th.EndPhase()
+
+	n := t.descendToLeaf(th, key)
+	t.lockNode(th, n)
+	n = t.moveRightLocked(th, n, key)
+	t.fixNodeLocked(th, n)
+
+	pos := t.findPosLocked(th, n, key)
+	if pos < 0 {
+		t.unlockNode(th, n)
+		return false
+	}
+	th.BeginPhase(pmem.PhaseUpdate)
+	t.fastDelete(th, n, pos)
+	t.unlockNode(th, n)
+	return true
+}
+
+// fastDelete removes the entry at pos from the latched node.
+func (t *BTree) fastDelete(th *pmem.Thread, n node, pos int) {
+	cnt := t.count(th, n)
+
+	// Flip to delete direction so lock-free readers scan right-to-left:
+	// an entry moving left toward such a reader is seen twice at worst,
+	// never missed.
+	if sw := t.switchCtr(th, n); sw%2 == 0 {
+		th.Store(n.off+offSwitch, sw+1)
+	}
+
+	// Commit: duplicating the left pointer atomically invalidates the key.
+	t.storePtr(th, n, pos, t.leftPtrOf(th, n, pos))
+	th.StoreFence()
+	th.Flush(t.slotOff(n, pos)+8, 8)
+
+	// Compact: shift the tail left, key before pointer; each pointer
+	// store atomically hands validity from the right copy to the left.
+	t.completeShiftLocked(th, n, pos, cnt)
+}
+
+// completeShiftLocked compacts out the invalid entry at pos (whose pointer
+// equals its left neighbour's) by shifting [pos+1, cnt) one slot left and
+// restoring the terminator. It is shared by fastDelete and the lazy-recovery
+// fix for crash-abandoned shifts.
+func (t *BTree) completeShiftLocked(th *pmem.Thread, n node, pos, cnt int) {
+	for j := pos; j < cnt-1; j++ {
+		t.storeKey(th, n, j, t.keyAt(th, n, j+1))
+		th.StoreFence()
+		t.storePtr(th, n, j, t.ptrAt(th, n, j+1))
+		th.StoreFence()
+		// Moving to a higher cache line: flush the finished one.
+		if lineOf(t.slotOff(n, j)) != lineOf(t.slotOff(n, j+1)) {
+			th.Flush(t.slotOff(n, j), recordBytes)
+		}
+	}
+	t.storePtr(th, n, cnt-1, 0)
+	th.Flush(t.slotOff(n, cnt-1)+8, 8)
+	t.setLastIdxHint(th, n, cnt-1)
+}

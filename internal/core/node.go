@@ -1,0 +1,228 @@
+// Package core implements the paper's contribution: a persistent B+-tree
+// whose in-node writes use Failure-Atomic ShifT (FAST) and whose structure
+// modifications use Failure-Atomic In-place Rebalance (FAIR).
+//
+// Every 8-byte store performed by FAST and FAIR moves the tree from one
+// consistent state either to another consistent state or to a *transient
+// inconsistent* state that readers detect — via duplicate adjacent pointers —
+// and tolerate. Because readers tolerate the inconsistency, the tree needs
+// no logging, no copy-on-write, and no read latches: search is lock-free.
+//
+// The tree lives entirely inside a pmem.Pool arena. Node references and leaf
+// values are arena offsets, keys and values are uint64, and leaf values are
+// boxed into arena cells so that leaf record pointers are unique — the
+// property the duplicate-pointer protocol relies on.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// Node layout. A node occupies NodeSize bytes, 64-byte aligned:
+//
+//	word 0  meta      level (bits 0..15) | deleted flag (bit 16)
+//	word 1  leftmost  internal: leftmost child offset
+//	                  leaf:     per-node odd sentinel (nodeOff|1), the
+//	                            "pointer to the left of slot 0" in the
+//	                            duplicate-pointer protocol
+//	word 2  sibling   right sibling offset (0 = none)
+//	word 3  switch    op-direction counter: even = last op was an insert
+//	                  (readers scan left→right), odd = delete (right→left)
+//	word 4  lastIdx   volatile entry-count hint; never trusted after crash
+//	word 5  lock      volatile reader/writer spinlock word
+//	word 6  lowKey    low fence key (B-link): smallest key this node may
+//	                  hold; immutable once set
+//	word 7  reserved
+//	+64...  records   16-byte (key, ptr) slots; a zero ptr terminates the
+//	                  array, and every slot at or beyond the terminator has
+//	                  a zero ptr (maintained by FAST, see insert.go)
+//
+// Record i's key is valid iff ptr(i-1) != ptr(i), where ptr(-1) is the
+// leftmost word. FAST's shifts are ordered so that at every instant exactly
+// the committed keys are valid.
+const (
+	offMeta     = 0
+	offLeftmost = 8
+	offSibling  = 16
+	offSwitch   = 24
+	offLastIdx  = 32
+	offLock     = 40
+	offLowKey   = 48
+	headerBytes = 64
+	recordBytes = 16
+
+	metaLevelMask = 0xffff
+	metaDeleted   = uint64(1) << 16
+
+	writerBit = uint64(1)
+	readerInc = uint64(2)
+)
+
+// Errors returned by the tree.
+var (
+	ErrTreeFull   = errors.New("core: arena exhausted")
+	ErrCorrupt    = errors.New("core: structural invariant violated")
+	ErrBadOptions = errors.New("core: invalid options")
+)
+
+// node is a typed view of a node offset. It carries the thread so the
+// accessors read through the latency model.
+type node struct {
+	off int64
+}
+
+func (n node) valid() bool { return n.off != 0 }
+
+func (t *BTree) meta(th *pmem.Thread, n node) uint64 { return th.Load(n.off + offMeta) }
+
+func (t *BTree) level(th *pmem.Thread, n node) int {
+	return int(t.meta(th, n) & metaLevelMask)
+}
+
+func (t *BTree) isDeleted(th *pmem.Thread, n node) bool {
+	return t.meta(th, n)&metaDeleted != 0
+}
+
+func (t *BTree) leftmost(th *pmem.Thread, n node) uint64 { return th.Load(n.off + offLeftmost) }
+
+func (t *BTree) sibling(th *pmem.Thread, n node) node {
+	return node{int64(th.Load(n.off + offSibling))}
+}
+
+func (t *BTree) switchCtr(th *pmem.Thread, n node) uint64 { return th.Load(n.off + offSwitch) }
+
+func (t *BTree) lowKey(th *pmem.Thread, n node) uint64 { return th.Load(n.off + offLowKey) }
+
+func (t *BTree) lastIdxHint(th *pmem.Thread, n node) int {
+	return int(th.LoadVolatile(n.off + offLastIdx))
+}
+
+func (t *BTree) setLastIdxHint(th *pmem.Thread, n node, v int) {
+	th.StoreVolatile(n.off+offLastIdx, uint64(v))
+}
+
+// slotOff returns the arena offset of record slot i.
+func (t *BTree) slotOff(n node, i int) int64 {
+	return n.off + headerBytes + int64(i)*recordBytes
+}
+
+func (t *BTree) keyAt(th *pmem.Thread, n node, i int) uint64 {
+	return th.Load(t.slotOff(n, i))
+}
+
+func (t *BTree) ptrAt(th *pmem.Thread, n node, i int) uint64 {
+	return th.Load(t.slotOff(n, i) + 8)
+}
+
+func (t *BTree) storeKey(th *pmem.Thread, n node, i int, k uint64) {
+	th.Store(t.slotOff(n, i), k)
+}
+
+func (t *BTree) storePtr(th *pmem.Thread, n node, i int, p uint64) {
+	th.Store(t.slotOff(n, i)+8, p)
+}
+
+// leftPtrOf returns the pointer immediately to the left of slot i: slot
+// i-1's ptr, or the leftmost word for slot 0. It is the reference value of
+// the duplicate-pointer validity check.
+func (t *BTree) leftPtrOf(th *pmem.Thread, n node, i int) uint64 {
+	if i == 0 {
+		return t.leftmost(th, n)
+	}
+	return t.ptrAt(th, n, i-1)
+}
+
+// count scans for the terminator under a write lock (where the node has no
+// transient state) and returns the number of record slots in use.
+func (t *BTree) count(th *pmem.Thread, n node) int {
+	// The hint is exact while the node is locked by us, but cheap to
+	// verify; fall back to a scan when it disagrees (post-crash).
+	h := t.lastIdxHint(th, n)
+	if h >= 0 && h <= t.maxEntries {
+		if (h == 0 || t.ptrAt(th, n, h-1) != 0) && t.ptrAt(th, n, h) == 0 {
+			return h
+		}
+	}
+	i := 0
+	for i < t.slots && t.ptrAt(th, n, i) != 0 {
+		i++
+	}
+	return i
+}
+
+// leafSentinel is the odd pseudo-pointer a leaf uses as its leftmost word.
+// It is unique per node (derived from the node offset) and can never equal a
+// real record pointer (allocations are 8-byte aligned, hence even).
+func leafSentinel(off int64) uint64 { return uint64(off) | 1 }
+
+// initNode writes a fresh node's header with plain stores. The caller
+// persists the node before publishing it.
+func (t *BTree) initNode(th *pmem.Thread, n node, level int, leftmost uint64, lowKey uint64) {
+	if level == 0 && leftmost == 0 {
+		leftmost = leafSentinel(n.off)
+	}
+	th.Store(n.off+offMeta, uint64(level)&metaLevelMask)
+	th.Store(n.off+offLeftmost, leftmost)
+	th.Store(n.off+offSibling, 0)
+	th.Store(n.off+offSwitch, 0)
+	th.StoreVolatile(n.off+offLastIdx, 0)
+	th.StoreVolatile(n.off+offLock, 0)
+	th.Store(n.off+offLowKey, lowKey)
+}
+
+// allocNode allocates and initialises a node.
+func (t *BTree) allocNode(th *pmem.Thread, level int, leftmost uint64, lowKey uint64) (node, error) {
+	off, err := t.pool.Alloc(int64(t.nodeSize), pmem.LineSize)
+	if err != nil {
+		return node{}, fmt.Errorf("%w: %v", ErrTreeFull, err)
+	}
+	n := node{off}
+	t.initNode(th, n, level, leftmost, lowKey)
+	return n, nil
+}
+
+// --- volatile node latches ---------------------------------------------
+//
+// Locks are volatile: their words are excluded from the crash model and
+// recovery re-zeroes them. Writers always take the exclusive latch; readers
+// take the shared latch only in LeafLock mode (the serializable variant
+// evaluated as FAST+FAIR+LeafLock in Figure 7).
+
+func (t *BTree) lockNode(th *pmem.Thread, n node) {
+	off := n.off + offLock
+	for spins := 0; ; spins++ {
+		if th.LoadVolatile(off) == 0 && th.CASVolatile(off, 0, writerBit) {
+			return
+		}
+		pause(spins)
+	}
+}
+
+func (t *BTree) unlockNode(th *pmem.Thread, n node) {
+	th.StoreVolatile(n.off+offLock, 0)
+}
+
+func (t *BTree) rlockNode(th *pmem.Thread, n node) {
+	off := n.off + offLock
+	for spins := 0; ; spins++ {
+		v := th.LoadVolatile(off)
+		if v&writerBit == 0 && th.CASVolatile(off, v, v+readerInc) {
+			return
+		}
+		pause(spins)
+	}
+}
+
+func (t *BTree) runlockNode(th *pmem.Thread, n node) {
+	off := n.off + offLock
+	for spins := 0; ; spins++ {
+		v := th.LoadVolatile(off)
+		if th.CASVolatile(off, v, v-readerInc) {
+			return
+		}
+		pause(spins)
+	}
+}

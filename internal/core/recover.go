@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// fixNodeLocked is the paper's lazy recovery (§4.2), run by every writer
+// right after latching a node: tolerable inconsistency left by a crash is
+// repaired before the writer makes new changes. Readers never repair —
+// they only tolerate.
+//
+// Two kinds of leftovers can exist:
+//
+//  1. A truncation that did not persist after a crashed FAIR split: the
+//     node still holds entries at or beyond its sibling's low fence. The
+//     single-store truncation is simply redone.
+//  2. A duplicate-pointer pair from a crashed FAST shift: the garbage key
+//     between the duplicates is deleted by completing the left shift.
+func (t *BTree) fixNodeLocked(th *pmem.Thread, n node) {
+	if sib := t.sibling(th, n); sib.valid() {
+		fence := t.lowKey(th, sib)
+		for i := 0; i < t.slots; i++ {
+			if t.ptrAt(th, n, i) == 0 {
+				break
+			}
+			if k := t.keyAt(th, n, i); k >= fence {
+				// Guard: a true split leftover survives in the
+				// sibling — as an entry (leaf split, vacuum
+				// copy) or as the separator that became the
+				// sibling's low fence (internal split, where
+				// the median's child became the sibling's
+				// leftmost). Never truncate an entry that
+				// exists nowhere else.
+				if k != fence && !t.siblingHasKey(th, sib, k) {
+					break
+				}
+				t.storePtr(th, n, i, 0)
+				th.Flush(t.slotOff(n, i)+8, 8)
+				break
+			}
+		}
+	}
+
+	for {
+		cnt := 0
+		for cnt < t.slots && t.ptrAt(th, n, cnt) != 0 {
+			cnt++
+		}
+		t.setLastIdxHint(th, n, cnt)
+		fixed := false
+		for i := 0; i < cnt; i++ {
+			if t.ptrAt(th, n, i) == t.leftPtrOf(th, n, i) {
+				// Complete the abandoned shift. Readers must
+				// scan right-to-left while we shift left.
+				if sw := t.switchCtr(th, n); sw%2 == 0 {
+					th.Store(n.off+offSwitch, sw+1)
+				}
+				t.completeShiftLocked(th, n, i, cnt)
+				fixed = true
+				break
+			}
+		}
+		if !fixed {
+			return
+		}
+	}
+}
+
+// siblingHasKey reports whether key appears in sib's entries: the test that
+// distinguishes a crashed-split leftover (safe to truncate — the sibling
+// holds the surviving copy) from live data.
+func (t *BTree) siblingHasKey(th *pmem.Thread, sib node, key uint64) bool {
+	for i := 0; i < t.slots; i++ {
+		if t.ptrAt(th, sib, i) == 0 {
+			break
+		}
+		if t.keyAt(th, sib, i) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Recover eagerly repairs the whole tree after a crash: it clears latch
+// words, applies the lazy fixes to every node, zeroes stale slots beyond
+// each terminator, re-attaches dangling siblings to their parents, and
+// completes crashed root splits. It must run with exclusive access to the
+// pool (the post-crash, pre-restart situation).
+//
+// Recover is idempotent: running it on a consistent tree changes nothing,
+// and running it twice equals running it once.
+func (t *BTree) Recover(th *pmem.Thread) error {
+	if t.opts.LoggedSplit {
+		t.replaySplitLog(th)
+	}
+
+	// Complete a crashed root split first: the root must not have a
+	// sibling. One new level per iteration; entries for the whole chain.
+	for {
+		root := t.root(th)
+		if !t.sibling(th, root).valid() {
+			break
+		}
+		level := t.level(th, root)
+		nr, err := t.allocNode(th, level+1, uint64(root.off), t.lowKey(th, root))
+		if err != nil {
+			return err
+		}
+		i := 0
+		for s := t.sibling(th, root); s.valid() && i < t.maxEntries; s = t.sibling(th, s) {
+			t.storeKey(th, nr, i, t.lowKey(th, s))
+			t.storePtr(th, nr, i, uint64(s.off))
+			i++
+		}
+		t.setLastIdxHint(th, nr, i)
+		th.Persist(nr.off, int64(t.nodeSize))
+		t.pool.SetRoot(th, t.opts.RootSlot, nr.off)
+	}
+
+	// Per-level sweep, top down.
+	levels := t.levelHeads(th)
+	for li := len(levels) - 1; li >= 0; li-- {
+		for n := levels[li]; n.valid(); n = t.sibling(th, n) {
+			th.StoreVolatile(n.off+offLock, 0)
+			t.fixNodeLocked(th, n)
+			t.zeroBeyond(th, n)
+		}
+	}
+
+	// Re-attach dangling siblings: every node in a level chain except the
+	// head must be referenced by its parent level.
+	for li := len(levels) - 2; li >= 0; li-- {
+		refs := make(map[int64]bool)
+		for p := levels[li+1]; p.valid(); p = t.sibling(th, p) {
+			refs[int64(t.leftmost(th, p))] = true
+			for i := 0; i < t.slots; i++ {
+				ptr := t.ptrAt(th, p, i)
+				if ptr == 0 {
+					break
+				}
+				refs[int64(ptr)] = true
+			}
+		}
+		for n := levels[li]; n.valid(); n = t.sibling(th, n) {
+			if refs[n.off] {
+				continue
+			}
+			if err := t.insertParent(th, n, li, t.lowKey(th, n), uint64(n.off)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// levelHeads returns the leftmost node of every level, index 0 = leaves.
+func (t *BTree) levelHeads(th *pmem.Thread) []node {
+	root := t.root(th)
+	heads := make([]node, t.level(th, root)+1)
+	n := root
+	for {
+		lv := t.level(th, n)
+		heads[lv] = n
+		if lv == 0 {
+			return heads
+		}
+		n = node{int64(t.leftmost(th, n))}
+	}
+}
+
+// zeroBeyond clears stale non-zero pointers past the terminator (possible
+// only as crash debris; readers stop at the terminator so this is hygiene,
+// not correctness).
+func (t *BTree) zeroBeyond(th *pmem.Thread, n node) {
+	cnt := 0
+	for cnt < t.slots && t.ptrAt(th, n, cnt) != 0 {
+		cnt++
+	}
+	for i := cnt + 1; i < t.slots; i++ {
+		if t.ptrAt(th, n, i) != 0 {
+			t.storePtr(th, n, i, 0)
+			th.Flush(t.slotOff(n, i)+8, 8)
+		}
+	}
+}
+
+// Vacuum is offline maintenance (exclusive access required): it merges each
+// leaf into its left neighbour when their entries fit in one node, keeping
+// space bounded under delete-heavy workloads. Every step is crash-safe —
+// entries are copied with FAST (duplicates across adjacent leaves resolve to
+// the same value boxes), the parent separator is removed with FAST, and the
+// unlink is a single pointer store.
+func (t *BTree) Vacuum(th *pmem.Thread) error {
+	heads := t.levelHeads(th)
+	if len(heads) < 2 {
+		return nil // a lone root leaf cannot be merged
+	}
+	prev := heads[0]
+	for {
+		n := t.sibling(th, prev)
+		if !n.valid() {
+			return nil
+		}
+		pc, nc := t.count(th, prev), t.count(th, n)
+		parent, pos := t.findParentEntry(th, n)
+		if pc+nc >= t.maxEntries || !parent.valid() {
+			prev = n
+			continue
+		}
+		// 1. Copy entries left (each FAST insert is failure-atomic).
+		for i := 0; i < nc; i++ {
+			t.fastInsert(th, prev, t.keyAt(th, n, i), t.ptrAt(th, n, i), pc+i)
+		}
+		// 2. Remove the parent separator (FAST delete).
+		t.fastDelete(th, parent, pos)
+		// 3. Unlink (atomic store) and reclaim.
+		th.Store(prev.off+offSibling, uint64(t.sibling(th, n).off))
+		th.Flush(prev.off+offSibling, 8)
+		t.pool.Free(n.off, int64(t.nodeSize))
+		// prev unchanged: it may absorb the next leaf too.
+	}
+}
+
+// findParentEntry locates the internal level-1 node and slot whose pointer
+// is leaf n. A leaf reachable only as a leftmost child returns an invalid
+// node (Vacuum skips it).
+func (t *BTree) findParentEntry(th *pmem.Thread, n node) (node, int) {
+	key := t.lowKey(th, n)
+	p := t.root(th)
+	for t.level(th, p) > 1 {
+		if sib := t.sibling(th, p); sib.valid() && key >= t.lowKey(th, sib) {
+			p = sib
+			continue
+		}
+		p = node{int64(t.routeChild(th, p, key))}
+	}
+	for {
+		for i := 0; i < t.slots; i++ {
+			ptr := t.ptrAt(th, p, i)
+			if ptr == 0 {
+				break
+			}
+			if ptr == uint64(n.off) {
+				return p, i
+			}
+		}
+		sib := t.sibling(th, p)
+		if !sib.valid() {
+			return node{}, -1
+		}
+		p = sib
+	}
+}
+
+// CheckInvariants validates the full structural contract of a quiescent
+// tree; it is the oracle the crash-injection and property tests rely on.
+func (t *BTree) CheckInvariants(th *pmem.Thread) error {
+	root := t.root(th)
+	if !root.valid() {
+		return fmt.Errorf("%w: nil root", ErrCorrupt)
+	}
+	if t.sibling(th, root).valid() {
+		return fmt.Errorf("%w: root %d has a sibling", ErrCorrupt, root.off)
+	}
+	_, err := t.checkNode(th, root, t.level(th, root), 0, 0)
+	if err != nil {
+		return err
+	}
+	// Leaf chain must be globally sorted.
+	prevSet := false
+	var prevKey uint64
+	for n := t.levelHeads(th)[0]; n.valid(); n = t.sibling(th, n) {
+		cnt := t.count(th, n)
+		for i := 0; i < cnt; i++ {
+			k := t.keyAt(th, n, i)
+			if prevSet && k <= prevKey {
+				return fmt.Errorf("%w: leaf chain unsorted at key %d (node %d)", ErrCorrupt, k, n.off)
+			}
+			prevKey, prevSet = k, true
+		}
+	}
+	return nil
+}
+
+// checkNode validates node n and its subtree; returns the node's maximum key
+// bound for sibling cross-checks.
+func (t *BTree) checkNode(th *pmem.Thread, n node, wantLevel int, lowBound uint64, depth int) (uint64, error) {
+	if depth > 64 {
+		return 0, fmt.Errorf("%w: depth runaway at node %d", ErrCorrupt, n.off)
+	}
+	if got := t.level(th, n); got != wantLevel {
+		return 0, fmt.Errorf("%w: node %d level %d, want %d", ErrCorrupt, n.off, got, wantLevel)
+	}
+	low := t.lowKey(th, n)
+	if low < lowBound {
+		return 0, fmt.Errorf("%w: node %d lowKey %d below bound %d", ErrCorrupt, n.off, low, lowBound)
+	}
+	cnt := t.count(th, n)
+	// Terminator must exist; slots beyond it may legitimately hold stale
+	// pre-split entries, which readers never visit and inserts consume.
+	if cnt < t.slots && t.ptrAt(th, n, cnt) != 0 {
+		return 0, fmt.Errorf("%w: node %d missing terminator at slot %d", ErrCorrupt, n.off, cnt)
+	}
+	var hi uint64
+	if wantLevel == 0 {
+		if t.leftmost(th, n) != leafSentinel(n.off) {
+			return 0, fmt.Errorf("%w: leaf %d bad sentinel", ErrCorrupt, n.off)
+		}
+	} else if t.leftmost(th, n) == 0 {
+		return 0, fmt.Errorf("%w: internal %d nil leftmost", ErrCorrupt, n.off)
+	}
+	prev := t.leftmost(th, n)
+	for i := 0; i < cnt; i++ {
+		k, p := t.keyAt(th, n, i), t.ptrAt(th, n, i)
+		if p == prev {
+			return 0, fmt.Errorf("%w: node %d duplicate pointer at slot %d", ErrCorrupt, n.off, i)
+		}
+		if k < low {
+			return 0, fmt.Errorf("%w: node %d key %d below lowKey %d", ErrCorrupt, n.off, k, low)
+		}
+		if i > 0 && k <= t.keyAt(th, n, i-1) {
+			return 0, fmt.Errorf("%w: node %d keys unsorted at slot %d", ErrCorrupt, n.off, i)
+		}
+		prev = p
+		hi = k
+	}
+	if sib := t.sibling(th, n); sib.valid() {
+		fence := t.lowKey(th, sib)
+		if cnt > 0 && hi >= fence {
+			return 0, fmt.Errorf("%w: node %d max key %d crosses sibling fence %d", ErrCorrupt, n.off, hi, fence)
+		}
+		if t.level(th, sib) != wantLevel {
+			return 0, fmt.Errorf("%w: node %d sibling level mismatch", ErrCorrupt, n.off)
+		}
+	}
+	if wantLevel > 0 {
+		// Children: leftmost covers [lowKey, firstEntryKey), entry i
+		// covers [key_i, key_{i+1}).
+		child := node{int64(t.leftmost(th, n))}
+		if _, err := t.checkNode(th, child, wantLevel-1, low, depth+1); err != nil {
+			return 0, err
+		}
+		if got := t.lowKey(th, child); got != low {
+			return 0, fmt.Errorf("%w: node %d leftmost child lowKey %d != %d", ErrCorrupt, n.off, got, low)
+		}
+		for i := 0; i < cnt; i++ {
+			k := t.keyAt(th, n, i)
+			c := node{int64(t.ptrAt(th, n, i))}
+			if _, err := t.checkNode(th, c, wantLevel-1, k, depth+1); err != nil {
+				return 0, err
+			}
+			if got := t.lowKey(th, c); got != k {
+				return 0, fmt.Errorf("%w: node %d child %d lowKey %d != separator %d", ErrCorrupt, n.off, c.off, got, k)
+			}
+		}
+	}
+	return hi, nil
+}

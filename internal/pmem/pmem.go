@@ -1,0 +1,302 @@
+// Package pmem emulates byte-addressable persistent memory for algorithms
+// that must reason about 8-byte failure-atomic stores, cache-line flushes,
+// and store fences — the hardware contract of the FAST+FAIR paper.
+//
+// A Pool is a word-addressed arena. All persistent state lives inside the
+// arena and references between persistent objects are arena offsets, so a
+// pool image is self-contained: it can be snapshotted, subjected to a
+// simulated power failure (see CrashSim), and reopened.
+//
+// The emulator models three hardware properties:
+//
+//  1. Failure atomicity of aligned 8-byte stores. Store and Load are
+//     implemented with sync/atomic on the backing words.
+//  2. The cache hierarchy between CPU and PM. Stores land in a (simulated)
+//     cache; they reach PM only when their cache line is explicitly flushed
+//     (Flush) or, after a crash, when the crash simulator decides the line
+//     was evicted. Flush charges the configured PM write latency; Load
+//     charges PM read latency per serial line access, with sequential
+//     accesses and recently-used lines free (modelling the hardware
+//     prefetcher and memory-level parallelism, the effect Quartz models for
+//     the paper).
+//  3. Store ordering. Under TSO, same-line stores persist in program order
+//     (any prefix may survive a crash). Under NonTSO, stores may persist in
+//     any order unless separated by StoreFence.
+//
+// Per-goroutine state (latency bookkeeping, statistics, phase timers) lives
+// in a Thread; every memory operation goes through a Thread.
+package pmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MemModel selects the volatile store-ordering model of the simulated CPU.
+type MemModel int
+
+const (
+	// TSO is total store ordering (x86): stores are not reordered with
+	// other stores, so a crashed cache line holds a program-order prefix
+	// of the stores since its last flush.
+	TSO MemModel = iota
+	// NonTSO allows store-store reordering (ARM): without explicit
+	// StoreFence calls a crashed line may hold any subset of unflushed
+	// stores.
+	NonTSO
+)
+
+func (m MemModel) String() string {
+	if m == NonTSO {
+		return "NonTSO"
+	}
+	return "TSO"
+}
+
+// LineSize is the simulated cache-line size in bytes.
+const LineSize = 64
+
+// WordSize is the failure-atomic store granularity in bytes.
+const WordSize = 8
+
+// headerWords is the number of words at the start of the arena reserved for
+// pool metadata (root pointers). Offset 0 is never a valid allocation, so 0
+// doubles as the NULL pointer.
+const headerWords = 8
+
+// Config describes a simulated PM device.
+type Config struct {
+	// Size is the arena capacity in bytes. Rounded up to a whole line.
+	Size int64
+	// ReadLatency is the emulated PM read stall charged per serial
+	// cache-line access (0 = DRAM, no charging).
+	ReadLatency time.Duration
+	// WriteLatency is the emulated PM write stall charged per cache line
+	// flushed (0 = DRAM).
+	WriteLatency time.Duration
+	// BarrierLatency is the cost of a store fence under NonTSO (the
+	// paper's dmb). Ignored under TSO, where FAST needs no fences
+	// between stores.
+	BarrierLatency time.Duration
+	// Model is the store-ordering model.
+	Model MemModel
+	// TrackCrashes enables the store log used by CrashSim. Logging is
+	// intended for single-writer crash-injection tests; it serialises
+	// stores through a mutex.
+	TrackCrashes bool
+}
+
+// Errors returned by the allocator.
+var (
+	ErrOutOfMemory = errors.New("pmem: arena exhausted")
+	ErrBadSize     = errors.New("pmem: invalid allocation size")
+)
+
+// Pool is a simulated persistent-memory device.
+type Pool struct {
+	words []uint64
+	cfg   Config
+
+	alloc allocator
+
+	logMu sync.Mutex
+	log   *crashLog
+
+	// threads tracks aggregate statistics from released threads.
+	statMu sync.Mutex
+	stats  Stats
+
+	dbgMu   sync.Mutex
+	dbgLive map[int64]int64
+}
+
+// debugAllocCheck enables overlap detection on every allocation (a
+// diagnostic for allocator regressions; enabled by tests).
+var debugAllocCheck = false
+
+// New creates a pool of the configured size. The arena is zeroed, which is
+// the persistent image of an empty device.
+func New(cfg Config) *Pool {
+	if cfg.Size < headerWords*WordSize {
+		cfg.Size = headerWords * WordSize
+	}
+	lines := (cfg.Size + LineSize - 1) / LineSize
+	p := &Pool{
+		words: make([]uint64, lines*LineSize/WordSize),
+		cfg:   cfg,
+	}
+	p.alloc.init(int64(headerWords * WordSize))
+	if cfg.TrackCrashes {
+		p.log = newCrashLog()
+	}
+	return p
+}
+
+// Config returns the pool configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Size returns the arena capacity in bytes.
+func (p *Pool) Size() int64 { return int64(len(p.words) * WordSize) }
+
+// NewThread returns a fresh per-goroutine context. Threads are not safe for
+// concurrent use; create one per goroutine.
+func (p *Pool) NewThread() *Thread {
+	t := &Thread{p: p}
+	t.resetCache()
+	return t
+}
+
+// Alloc reserves size bytes aligned to align (which must be a power of two,
+// at least WordSize). The returned offset is never 0. The memory is zeroed.
+//
+// Allocator metadata is volatile: the paper assumes a persistent nv_malloc,
+// and this emulator keeps the bump pointer and free lists outside the
+// persistent image (see DESIGN.md).
+func (p *Pool) Alloc(size, align int64) (int64, error) {
+	if size <= 0 || align < WordSize || align&(align-1) != 0 {
+		return 0, ErrBadSize
+	}
+	off, err := p.alloc.take(size, align, p.Size())
+	if err != nil {
+		return 0, err
+	}
+	if debugAllocCheck {
+		p.dbgMu.Lock()
+		if p.dbgLive == nil {
+			p.dbgLive = map[int64]int64{}
+		}
+		for o, s := range p.dbgLive {
+			if off < o+s && o < off+size {
+				p.dbgMu.Unlock()
+				panic(fmt.Sprintf("pmem: Alloc overlap [%d,%d) with live [%d,%d)", off, off+size, o, o+s))
+			}
+		}
+		p.dbgLive[off] = size
+		p.dbgMu.Unlock()
+	}
+	// Zero the block: freed blocks may contain stale data. Zeroing is
+	// part of allocation, not of the crash-ordered store stream (a real
+	// allocator hands out zeroed or initialised-by-caller memory).
+	for w := off / WordSize; w < (off+size)/WordSize; w++ {
+		atomic.StoreUint64(&p.words[w], 0)
+	}
+	return off, nil
+}
+
+// Free returns a block to the allocator. The caller must pass the same size
+// used at Alloc time. Double frees are not detected.
+func (p *Pool) Free(off, size int64) {
+	p.alloc.give(off, size)
+}
+
+// SetRoot stores a durable root pointer in the reserved pool header.
+// slot must be in [0, 8). The store is persisted immediately (flushed).
+func (p *Pool) SetRoot(t *Thread, slot int, off int64) {
+	if slot < 0 || slot >= headerWords {
+		panic(fmt.Sprintf("pmem: root slot %d out of range", slot))
+	}
+	t.Store(int64(slot*WordSize), uint64(off))
+	t.Persist(int64(slot*WordSize), WordSize)
+}
+
+// Root loads a durable root pointer from the pool header.
+func (p *Pool) Root(t *Thread, slot int) int64 {
+	if slot < 0 || slot >= headerWords {
+		panic(fmt.Sprintf("pmem: root slot %d out of range", slot))
+	}
+	return int64(t.Load(int64(slot * WordSize)))
+}
+
+// rawLoad reads a word without latency accounting (used by the crash
+// simulator and tests).
+func (p *Pool) rawLoad(off int64) uint64 {
+	return atomic.LoadUint64(&p.words[off/WordSize])
+}
+
+// Clone produces an independent copy of the pool image with the same
+// configuration (crash tracking disabled on the copy unless retrack is
+// true). The allocator of the clone resumes from the source's high-water
+// mark so new allocations cannot overlap live data even if allocator state
+// was "lost" in a crash.
+func (p *Pool) Clone(retrack bool) *Pool {
+	cfg := p.cfg
+	cfg.TrackCrashes = retrack
+	n := New(cfg)
+	for i := range p.words {
+		n.words[i] = atomic.LoadUint64(&p.words[i])
+	}
+	n.alloc.init(p.alloc.highWater())
+	return n
+}
+
+// AddStats merges a thread's counters into the pool-wide aggregate. Threads
+// call this from Release; harnesses may also call it directly.
+func (p *Pool) AddStats(s Stats) {
+	p.statMu.Lock()
+	p.stats.add(s)
+	p.statMu.Unlock()
+}
+
+// TotalStats returns the aggregate of all released threads' statistics.
+func (p *Pool) TotalStats() Stats {
+	p.statMu.Lock()
+	defer p.statMu.Unlock()
+	return p.stats
+}
+
+// allocator is a bump allocator with power-of-two size-class free lists.
+// It is volatile by design (see Alloc).
+type allocator struct {
+	mu   sync.Mutex
+	next int64
+	free map[int64][]int64
+}
+
+func (a *allocator) init(next int64) {
+	a.mu.Lock()
+	a.next = next
+	a.free = make(map[int64][]int64)
+	a.mu.Unlock()
+}
+
+func (a *allocator) take(size, align, limit int64) (int64, error) {
+	size = roundUp(size, WordSize)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if lst := a.free[size]; len(lst) > 0 {
+		// Free-listed blocks were allocated with the same size class;
+		// they satisfy any alignment the original allocation had. We
+		// only reuse when alignment still holds.
+		for i := len(lst) - 1; i >= 0; i-- {
+			if lst[i]%align == 0 {
+				off := lst[i]
+				a.free[size] = append(lst[:i], lst[i+1:]...)
+				return off, nil
+			}
+		}
+	}
+	off := roundUp(a.next, align)
+	if off+size > limit {
+		return 0, ErrOutOfMemory
+	}
+	a.next = off + size
+	return off, nil
+}
+
+func (a *allocator) give(off, size int64) {
+	size = roundUp(size, WordSize)
+	a.mu.Lock()
+	a.free[size] = append(a.free[size], off)
+	a.mu.Unlock()
+}
+
+func (a *allocator) highWater() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.next
+}
+
+func roundUp(v, m int64) int64 { return (v + m - 1) / m * m }

@@ -1,0 +1,324 @@
+package pmem
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Phase labels the logical activity a thread is performing, so harnesses can
+// attribute elapsed time the way Figure 5(a) of the paper does.
+type Phase int
+
+const (
+	// PhaseOther is the default attribution bucket.
+	PhaseOther Phase = iota
+	// PhaseSearch covers tree traversal and in-node key search.
+	PhaseSearch
+	// PhaseUpdate covers in-node modification (shifting, appends, splits).
+	PhaseUpdate
+	// PhaseFlush is used internally for time spent stalling on emulated
+	// cache-line write-backs. Callers do not set it directly.
+	PhaseFlush
+	numPhases
+)
+
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseSearch:
+		return "search"
+	case PhaseUpdate:
+		return "update"
+	case PhaseFlush:
+		return "clflush"
+	default:
+		return "other"
+	}
+}
+
+// Stats counts the memory-system events a thread generated. Counters mirror
+// the quantities the paper reports: flush calls per insert, fence counts, and
+// serial (latency-charged) line accesses standing in for effective LLC
+// misses.
+type Stats struct {
+	Loads        uint64 // word loads issued
+	Stores       uint64 // word stores issued
+	ChargedReads uint64 // serial line accesses that paid PM read latency
+	FlushedLines uint64 // cache lines written back by Flush/Persist
+	FlushCalls   uint64 // Flush/Persist invocations
+	Fences       uint64 // ordering fences (clflush barriers)
+	StoreFences  uint64 // store-store fences (NonTSO dmb); 0 on TSO
+
+	// PhaseTime attributes wall-clock time (including emulated stalls)
+	// to phases. Index with Phase.
+	PhaseTime [numPhases]time.Duration
+}
+
+func (s *Stats) add(o Stats) {
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.ChargedReads += o.ChargedReads
+	s.FlushedLines += o.FlushedLines
+	s.FlushCalls += o.FlushCalls
+	s.Fences += o.Fences
+	s.StoreFences += o.StoreFences
+	for i := range s.PhaseTime {
+		s.PhaseTime[i] += o.PhaseTime[i]
+	}
+}
+
+// Add merges o into s.
+func (s *Stats) Add(o Stats) { s.add(o) }
+
+// cacheSlots is the size of the per-thread direct-mapped line-tag cache used
+// by the read-latency model. 4096 lines × 64 B models a 256 KiB slice of
+// cache per thread — small enough that big-tree traversals miss, large
+// enough that hot upper levels hit, which is the behaviour the paper's
+// Quartz setup produces.
+const cacheSlots = 4096
+
+// Thread is a per-goroutine context for pool access. It carries the latency
+// model's state (last line touched, simulated cache tags), statistics, and
+// the phase timer. Threads must not be shared between goroutines.
+type Thread struct {
+	p *Pool
+
+	Stats Stats
+
+	lastLine int64
+	tags     [cacheSlots]int64
+
+	phase      Phase
+	phaseStart time.Time
+}
+
+// Pool returns the pool this thread operates on.
+func (t *Thread) Pool() *Pool { return t.p }
+
+func (t *Thread) resetCache() {
+	t.lastLine = -1
+	for i := range t.tags {
+		t.tags[i] = -1
+	}
+}
+
+// Release folds the thread's statistics into the pool aggregate and resets
+// them.
+func (t *Thread) Release() {
+	t.EndPhase()
+	t.p.AddStats(t.Stats)
+	t.Stats = Stats{}
+}
+
+// BeginPhase starts attributing wall-clock time to ph, closing any open
+// phase first.
+func (t *Thread) BeginPhase(ph Phase) {
+	now := time.Now()
+	if !t.phaseStart.IsZero() {
+		t.Stats.PhaseTime[t.phase] += now.Sub(t.phaseStart)
+	}
+	t.phase = ph
+	t.phaseStart = now
+}
+
+// EndPhase closes the open phase, attributing its elapsed time.
+func (t *Thread) EndPhase() {
+	if t.phaseStart.IsZero() {
+		return
+	}
+	t.Stats.PhaseTime[t.phase] += time.Since(t.phaseStart)
+	t.phaseStart = time.Time{}
+	t.phase = PhaseOther
+}
+
+// Load performs a latency-modelled 8-byte atomic load. off must be 8-byte
+// aligned and inside the arena.
+func (t *Thread) Load(off int64) uint64 {
+	t.Stats.Loads++
+	if t.p.cfg.ReadLatency > 0 {
+		t.chargeRead(off / LineSize)
+	}
+	return t.p.rawLoad(off)
+}
+
+// chargeRead implements the serial-access read model: an access to the same
+// or the next cache line is free (prefetcher / open row), an access to a
+// line whose tag is resident in the thread's simulated cache is free, and
+// everything else stalls for the configured PM read latency.
+func (t *Thread) chargeRead(line int64) {
+	if line == t.lastLine || line == t.lastLine+1 {
+		t.lastLine = line
+		t.install(line)
+		return
+	}
+	t.lastLine = line
+	slot := line & (cacheSlots - 1)
+	if t.tags[slot] == line {
+		return
+	}
+	t.tags[slot] = line
+	t.Stats.ChargedReads++
+	t.stall(t.p.cfg.ReadLatency)
+}
+
+func (t *Thread) install(line int64) {
+	t.tags[line&(cacheSlots-1)] = line
+}
+
+// Store performs an 8-byte atomic store. The store lands in the simulated
+// cache: it reaches persistence only via Flush/Persist or (after a crash)
+// the crash simulator's eviction model.
+func (t *Thread) Store(off int64, val uint64) {
+	t.Stats.Stores++
+	t.p.storeWord(off, val, true)
+}
+
+// StoreVolatile stores a word that is deliberately excluded from the crash
+// model: after a simulated crash the word reverts to an arbitrary stale
+// value. Use it for fields recovery must not trust (lock words, cached
+// counts).
+func (t *Thread) StoreVolatile(off int64, val uint64) {
+	t.Stats.Stores++
+	t.p.storeWord(off, val, false)
+}
+
+// CAS performs a crash-visible compare-and-swap: on success the store joins
+// the crash log like a Store. Lock-free persistent structures (the skiplist
+// baseline) link nodes with it.
+func (t *Thread) CAS(off int64, old, new uint64) bool {
+	t.Stats.Loads++
+	if t.p.log != nil {
+		// Serialise with the log so log order equals apply order.
+		t.p.logMu.Lock()
+		ok := atomic.CompareAndSwapUint64(&t.p.words[off/WordSize], old, new)
+		if ok {
+			t.Stats.Stores++
+			t.p.log.appendStore(off, new)
+		}
+		t.p.logMu.Unlock()
+		return ok
+	}
+	ok := atomic.CompareAndSwapUint64(&t.p.words[off/WordSize], old, new)
+	if ok {
+		t.Stats.Stores++
+	}
+	return ok
+}
+
+// LoadVolatile reads a word with no latency charge, no statistics, and no
+// crash-log participation. Use it for volatile control words (locks, cached
+// counts) that conceptually live in DRAM next to the structure.
+func (t *Thread) LoadVolatile(off int64) uint64 {
+	return atomic.LoadUint64(&t.p.words[off/WordSize])
+}
+
+// CASVolatile performs a compare-and-swap on a volatile control word. Like
+// StoreVolatile, it is excluded from the crash model.
+func (t *Thread) CASVolatile(off int64, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&t.p.words[off/WordSize], old, new)
+}
+
+// StoreFence orders earlier stores before later ones on NonTSO machines (the
+// paper's mfence_IF_NOT_TSO / dmb). On TSO it is free and records nothing:
+// hardware already orders store-store pairs.
+func (t *Thread) StoreFence() {
+	if t.p.cfg.Model != NonTSO {
+		return
+	}
+	t.Stats.StoreFences++
+	t.p.logSFence()
+	t.stall(t.p.cfg.BarrierLatency)
+}
+
+// Flush writes back every cache line overlapping [off, off+size) and fences,
+// charging PM write latency per line (the paper's clflush_with_mfence). The
+// flushed stores are persistent when Flush returns.
+func (t *Thread) Flush(off, size int64) {
+	t.Stats.FlushCalls++
+	first := off / LineSize
+	last := (off + size - 1) / LineSize
+	for ln := first; ln <= last; ln++ {
+		t.Stats.FlushedLines++
+		t.p.logFlush(ln)
+		t.stallFlush(t.p.cfg.WriteLatency)
+	}
+	t.Stats.Fences++
+	t.p.logFence()
+}
+
+// Persist is Flush; the name documents intent at call sites that persist a
+// freshly initialised object rather than ordering a protocol step.
+func (t *Thread) Persist(off, size int64) { t.Flush(off, size) }
+
+// stall burns CPU for d, attributing the time to the currently open phase.
+// It is the emulator's equivalent of Quartz's injected stall cycles.
+func (t *Thread) stall(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+}
+
+// stallFlush burns CPU for d and attributes the time to PhaseFlush rather
+// than the ambient phase, shifting the ambient phase's start so the stall is
+// not double-counted. This is what lets harnesses report the clflush /
+// search / node-update breakdown of Figure 5(a).
+func (t *Thread) stallFlush(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	for time.Since(t0) < d {
+	}
+	el := time.Since(t0)
+	t.Stats.PhaseTime[PhaseFlush] += el
+	if !t.phaseStart.IsZero() {
+		t.phaseStart = t.phaseStart.Add(el)
+	}
+}
+
+// atomicStore writes val to the word holding off.
+func atomicStore(words []uint64, off int64, val uint64) {
+	atomic.StoreUint64(&words[off/WordSize], val)
+}
+
+// storeWord applies a store and, when logging is enabled and the store is
+// crash-visible, appends it to the crash log.
+func (p *Pool) storeWord(off int64, val uint64, logged bool) {
+	if p.log != nil && logged {
+		p.logMu.Lock()
+		p.log.appendStore(off, val)
+		atomicStore(p.words, off, val)
+		p.logMu.Unlock()
+		return
+	}
+	atomicStore(p.words, off, val)
+}
+
+func (p *Pool) logFlush(line int64) {
+	if p.log == nil {
+		return
+	}
+	p.logMu.Lock()
+	p.log.appendFlush(line)
+	p.logMu.Unlock()
+}
+
+func (p *Pool) logFence() {
+	if p.log == nil {
+		return
+	}
+	p.logMu.Lock()
+	p.log.appendFence()
+	p.logMu.Unlock()
+}
+
+func (p *Pool) logSFence() {
+	if p.log == nil {
+		return
+	}
+	p.logMu.Lock()
+	p.log.appendSFence()
+	p.logMu.Unlock()
+}

@@ -1,0 +1,85 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pmem"
+)
+
+// bound adapts a (bench.Index, *pmem.Thread) pair to the thread-less tpcc
+// Index interface, binding each table to its own pool's thread.
+type bound struct {
+	ix bench.Index
+	th *pmem.Thread
+}
+
+func (b bound) Insert(key, val uint64) error { return b.ix.Insert(b.th, key, val) }
+func (b bound) Get(key uint64) (uint64, bool) {
+	return b.ix.Get(b.th, key)
+}
+func (b bound) Delete(key uint64) bool { return b.ix.Delete(b.th, key) }
+func (b bound) Scan(lo, hi uint64, fn func(key, val uint64) bool) {
+	b.ix.Scan(b.th, lo, hi, fn)
+}
+
+// NewBound builds a TPC-C instance whose tables are indexes of the given
+// kind, each in its own pool with the given latency configuration.
+func NewBound(k bench.Kind, warehouses int, mem pmem.Config) (*Bench, error) {
+	mk := func(name string) (Index, error) {
+		size := int64(64 << 20)
+		if name == "orderline" || name == "stock" || name == "customer" || name == "history" {
+			size = 256 << 20
+		}
+		ix, th, err := bench.NewIndex(bench.Config{Kind: k, PoolSize: size, Mem: mem})
+		if err != nil {
+			return nil, err
+		}
+		return bound{ix, th}, nil
+	}
+	return New(warehouses, mk)
+}
+
+// Fig6 reproduces Figure 6: TPC-C throughput (Ktx/sec) for workload mixes
+// W1–W4 across the single-threaded index set, with PM R/W latency 300ns.
+func Fig6(txPerMix int, warehouses int) *bench.Table {
+	tbl := &bench.Table{
+		Title: fmt.Sprintf("Figure 6: TPC-C throughput (Ktx/sec), %d tx/mix, %d warehouse(s), R/W latency 300ns",
+			txPerMix, warehouses),
+		Header: append([]string{"mix"}, kindNames()...),
+		Notes:  "expected shape: FAST+FAIR wins every mix (insert + range-scan strength); WORT hurt by range scans as search share grows",
+	}
+	mem := pmem.Config{
+		ReadLatency:  300 * time.Nanosecond,
+		WriteLatency: 300 * time.Nanosecond,
+	}
+	for _, mix := range Mixes {
+		row := []string{mix.Name}
+		for _, k := range bench.AllSingleThreaded {
+			b, err := NewBound(k, warehouses, mem)
+			if err != nil {
+				panic(err)
+			}
+			rng := rand.New(rand.NewSource(77))
+			t0 := time.Now()
+			n, err := b.Run(mix, txPerMix, rng)
+			if err != nil {
+				panic(fmt.Sprintf("%s %s: %v", k, mix.Name, err))
+			}
+			el := time.Since(t0)
+			row = append(row, fmt.Sprintf("%.1f", float64(n)/el.Seconds()/1000))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	return tbl
+}
+
+func kindNames() []string {
+	out := make([]string, len(bench.AllSingleThreaded))
+	for i, k := range bench.AllSingleThreaded {
+		out[i] = string(k)
+	}
+	return out
+}

@@ -1,0 +1,361 @@
+// Package tpcc implements the scaled-down TPC-C workload of Figure 6: five
+// transaction types (NewOrder, Payment, OrderStatus, Delivery, StockLevel)
+// whose tables are index structures under test. The benchmark exercises the
+// operational mix the paper argues B+-trees win on: point lookups, in-place
+// updates, inserts, and — crucially for StockLevel/Delivery/OrderStatus —
+// range scans over sorted keys.
+//
+// Rows are packed into uint64 index values (this is an index benchmark, as
+// in the paper, not a storage-engine benchmark). Composite keys are packed
+// into uint64 bitfields.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Index is a thread-bound view of an index structure: implementations carry
+// their own pmem thread/pool, letting each table live in its own pool.
+type Index interface {
+	Insert(key, val uint64) error
+	Get(key uint64) (uint64, bool)
+	Delete(key uint64) bool
+	Scan(lo, hi uint64, fn func(key, val uint64) bool)
+}
+
+// Scale parameters (reduced from the TPC-C spec so a run loads in seconds;
+// ratios between tables are preserved).
+const (
+	Districts    = 10
+	CustomersPer = 300  // per district (spec: 3000)
+	Items        = 1000 // spec: 100000
+	initialOrder = 30   // pre-loaded orders per district
+)
+
+// Mix is a transaction percentage mix; the four workloads of Figure 6.
+type Mix struct {
+	Name                                              string
+	NewOrder, Payment, Status, Delivery, StockPercent int
+}
+
+// Mixes are the paper's W1–W4 (NewOrder/Payment/Status/Delivery/StockLevel).
+var Mixes = []Mix{
+	{"W1", 34, 43, 5, 4, 14},
+	{"W2", 27, 43, 15, 4, 11},
+	{"W3", 20, 43, 25, 4, 8},
+	{"W4", 13, 43, 35, 4, 5},
+}
+
+// Table identifiers; NewBench's factory is called once per table.
+var TableNames = []string{
+	"warehouse", "district", "customer", "order", "neworder",
+	"orderline", "custorder", "stock", "item", "history",
+}
+
+// Bench holds the table indexes for one TPC-C instance.
+type Bench struct {
+	W int // warehouses
+
+	warehouse Index // w            -> ytd cents
+	district  Index // (w,d)        -> next_o_id<<32 | ytd
+	customer  Index // (w,d,c)      -> balance (biased by 1<<40)
+	order     Index // (w,d,o)      -> c<<16 | ol_cnt
+	neworder  Index // (w,d,o)      -> 1
+	orderline Index // (w,d,o,ol)   -> item<<16 | qty
+	custorder Index // (w,d,c,o)    -> o
+	stock     Index // (w,i)        -> quantity
+	item      Index // i            -> price cents
+	history   Index // seq          -> amount
+
+	histSeq uint64
+	nextO   map[uint64]uint64 // volatile mirror of district next_o_id for key gen
+}
+
+// --- key packing -------------------------------------------------------------
+
+func kW(w int) uint64         { return uint64(w) }
+func kWD(w, d int) uint64     { return uint64(w)<<8 | uint64(d) }
+func kWDC(w, d, c int) uint64 { return uint64(w)<<40 | uint64(d)<<32 | uint64(c) }
+func kWDO(w, d int, o uint64) uint64 {
+	return uint64(w)<<40 | uint64(d)<<32 | o
+}
+func kWDOL(w, d int, o uint64, ol int) uint64 {
+	return uint64(w)<<48 | uint64(d)<<40 | o<<8 | uint64(ol)
+}
+func kWDCO(w, d, c int, o uint64) uint64 {
+	return uint64(w)<<56 | uint64(d)<<48 | uint64(c)<<24 | o
+}
+func kWI(w, i int) uint64 { return uint64(w)<<32 | uint64(i) }
+
+// New builds a TPC-C instance with W warehouses; newTable is called once per
+// table name to create its backing index.
+func New(w int, newTable func(name string) (Index, error)) (*Bench, error) {
+	b := &Bench{W: w, nextO: map[uint64]uint64{}}
+	tables := map[string]*Index{
+		"warehouse": &b.warehouse, "district": &b.district, "customer": &b.customer,
+		"order": &b.order, "neworder": &b.neworder, "orderline": &b.orderline,
+		"custorder": &b.custorder, "stock": &b.stock, "item": &b.item, "history": &b.history,
+	}
+	for _, name := range TableNames {
+		ix, err := newTable(name)
+		if err != nil {
+			return nil, fmt.Errorf("tpcc: creating %s: %w", name, err)
+		}
+		*tables[name] = ix
+	}
+	return b, b.load()
+}
+
+// load populates the initial database.
+func (b *Bench) load() error {
+	rng := rand.New(rand.NewSource(1))
+	for i := 1; i <= Items; i++ {
+		if err := b.item.Insert(uint64(i), uint64(rng.Intn(9900)+100)); err != nil {
+			return err
+		}
+	}
+	for w := 1; w <= b.W; w++ {
+		if err := b.warehouse.Insert(kW(w), 0); err != nil {
+			return err
+		}
+		for i := 1; i <= Items; i++ {
+			if err := b.stock.Insert(kWI(w, i), uint64(rng.Intn(90)+10)); err != nil {
+				return err
+			}
+		}
+		for d := 1; d <= Districts; d++ {
+			for c := 1; c <= CustomersPer; c++ {
+				if err := b.customer.Insert(kWDC(w, d, c), 1<<40); err != nil {
+					return err
+				}
+			}
+			for o := uint64(1); o <= initialOrder; o++ {
+				c := rng.Intn(CustomersPer) + 1
+				cnt := rng.Intn(11) + 5
+				if err := b.insertOrder(w, d, o, c, cnt, rng, o <= initialOrder/2); err != nil {
+					return err
+				}
+			}
+			b.nextO[kWD(w, d)] = initialOrder + 1
+			if err := b.district.Insert(kWD(w, d), (initialOrder+1)<<32); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (b *Bench) insertOrder(w, d int, o uint64, c, cnt int, rng *rand.Rand, delivered bool) error {
+	if err := b.order.Insert(kWDO(w, d, o), uint64(c)<<16|uint64(cnt)); err != nil {
+		return err
+	}
+	if err := b.custorder.Insert(kWDCO(w, d, c, o), o); err != nil {
+		return err
+	}
+	if !delivered {
+		if err := b.neworder.Insert(kWDO(w, d, o), 1); err != nil {
+			return err
+		}
+	}
+	for ol := 1; ol <= cnt; ol++ {
+		it := rng.Intn(Items) + 1
+		qty := rng.Intn(10) + 1
+		if err := b.orderline.Insert(kWDOL(w, d, o, ol), uint64(it)<<16|uint64(qty)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- transactions ------------------------------------------------------------
+
+// NewOrder runs the new-order transaction; it returns an error only on index
+// failure (simulated user aborts are not modelled).
+func (b *Bench) NewOrder(rng *rand.Rand) error {
+	w := rng.Intn(b.W) + 1
+	d := rng.Intn(Districts) + 1
+	c := rng.Intn(CustomersPer) + 1
+	if _, ok := b.customer.Get(kWDC(w, d, c)); !ok {
+		return fmt.Errorf("tpcc: missing customer %d/%d/%d", w, d, c)
+	}
+	dk := kWD(w, d)
+	dv, ok := b.district.Get(dk)
+	if !ok {
+		return fmt.Errorf("tpcc: missing district")
+	}
+	o := b.nextO[dk]
+	b.nextO[dk] = o + 1
+	if err := b.district.Insert(dk, (o+1)<<32|dv&0xffffffff); err != nil {
+		return err
+	}
+	cnt := rng.Intn(11) + 5
+	if err := b.insertOrder(w, d, o, c, cnt, rng, false); err != nil {
+		return err
+	}
+	// Stock updates for each line.
+	for ol := 1; ol <= cnt; ol++ {
+		it := rng.Intn(Items) + 1
+		if _, ok := b.item.Get(uint64(it)); !ok {
+			return fmt.Errorf("tpcc: missing item %d", it)
+		}
+		sk := kWI(w, it)
+		q, ok := b.stock.Get(sk)
+		if !ok {
+			return fmt.Errorf("tpcc: missing stock %d/%d", w, it)
+		}
+		nq := q - uint64(rng.Intn(10)+1)
+		if int64(nq) < 10 {
+			nq += 91
+		}
+		if err := b.stock.Insert(sk, nq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Payment runs the payment transaction.
+func (b *Bench) Payment(rng *rand.Rand) error {
+	w := rng.Intn(b.W) + 1
+	d := rng.Intn(Districts) + 1
+	c := rng.Intn(CustomersPer) + 1
+	amt := uint64(rng.Intn(5000) + 100)
+	wv, _ := b.warehouse.Get(kW(w))
+	if err := b.warehouse.Insert(kW(w), wv+amt); err != nil {
+		return err
+	}
+	dk := kWD(w, d)
+	dv, _ := b.district.Get(dk)
+	if err := b.district.Insert(dk, dv+amt); err != nil {
+		return err
+	}
+	ck := kWDC(w, d, c)
+	cv, ok := b.customer.Get(ck)
+	if !ok {
+		return fmt.Errorf("tpcc: missing customer in payment")
+	}
+	if err := b.customer.Insert(ck, cv-amt); err != nil {
+		return err
+	}
+	b.histSeq++
+	return b.history.Insert(b.histSeq, amt)
+}
+
+// OrderStatus reads a customer's latest order and its lines (range scans).
+func (b *Bench) OrderStatus(rng *rand.Rand) error {
+	w := rng.Intn(b.W) + 1
+	d := rng.Intn(Districts) + 1
+	c := rng.Intn(CustomersPer) + 1
+	var last uint64
+	b.custorder.Scan(kWDCO(w, d, c, 0), kWDCO(w, d, c, 1<<24-1), func(k, v uint64) bool {
+		last = v
+		return true
+	})
+	if last == 0 {
+		return nil // customer has no orders yet
+	}
+	ov, ok := b.order.Get(kWDO(w, d, last))
+	if !ok {
+		return fmt.Errorf("tpcc: custorder points at missing order %d", last)
+	}
+	cnt := int(ov & 0xffff)
+	got := 0
+	b.orderline.Scan(kWDOL(w, d, last, 0), kWDOL(w, d, last, 255), func(k, v uint64) bool {
+		got++
+		return true
+	})
+	if got != cnt {
+		return fmt.Errorf("tpcc: order %d has %d lines, want %d", last, got, cnt)
+	}
+	return nil
+}
+
+// Delivery delivers the oldest undelivered order in every district.
+func (b *Bench) Delivery(rng *rand.Rand) error {
+	w := rng.Intn(b.W) + 1
+	for d := 1; d <= Districts; d++ {
+		var oldest uint64
+		found := false
+		b.neworder.Scan(kWDO(w, d, 0), kWDO(w, d, 1<<32-1), func(k, v uint64) bool {
+			oldest = k & 0xffffffff
+			found = true
+			return false // first = oldest
+		})
+		if !found {
+			continue
+		}
+		if !b.neworder.Delete(kWDO(w, d, oldest)) {
+			return fmt.Errorf("tpcc: neworder delete failed")
+		}
+		ov, ok := b.order.Get(kWDO(w, d, oldest))
+		if !ok {
+			return fmt.Errorf("tpcc: delivery of missing order")
+		}
+		c := int(ov >> 16)
+		total := uint64(0)
+		b.orderline.Scan(kWDOL(w, d, oldest, 0), kWDOL(w, d, oldest, 255), func(k, v uint64) bool {
+			total += v & 0xffff
+			return true
+		})
+		ck := kWDC(w, d, c)
+		cv, ok := b.customer.Get(ck)
+		if !ok {
+			return fmt.Errorf("tpcc: delivery to missing customer")
+		}
+		if err := b.customer.Insert(ck, cv+total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StockLevel counts recently-sold items below a stock threshold (the big
+// range scan).
+func (b *Bench) StockLevel(rng *rand.Rand) error {
+	w := rng.Intn(b.W) + 1
+	d := rng.Intn(Districts) + 1
+	next := b.nextO[kWD(w, d)]
+	lowO := uint64(1)
+	if next > 20 {
+		lowO = next - 20
+	}
+	seen := map[int]bool{}
+	b.orderline.Scan(kWDOL(w, d, lowO, 0), kWDOL(w, d, next, 255), func(k, v uint64) bool {
+		seen[int(v>>16)] = true
+		return true
+	})
+	low := 0
+	for it := range seen {
+		q, ok := b.stock.Get(kWI(w, it))
+		if ok && q < 15 {
+			low++
+		}
+	}
+	_ = low
+	return nil
+}
+
+// Run executes n transactions drawn from mix, returning the count executed.
+func (b *Bench) Run(mix Mix, n int, rng *rand.Rand) (int, error) {
+	for i := 0; i < n; i++ {
+		r := rng.Intn(100)
+		var err error
+		switch {
+		case r < mix.NewOrder:
+			err = b.NewOrder(rng)
+		case r < mix.NewOrder+mix.Payment:
+			err = b.Payment(rng)
+		case r < mix.NewOrder+mix.Payment+mix.Status:
+			err = b.OrderStatus(rng)
+		case r < mix.NewOrder+mix.Payment+mix.Status+mix.Delivery:
+			err = b.Delivery(rng)
+		default:
+			err = b.StockLevel(rng)
+		}
+		if err != nil {
+			return i, err
+		}
+	}
+	return n, nil
+}
