@@ -6,7 +6,9 @@ package repro
 //
 //	go test -bench=. -benchmem
 //
-// Figure 7's thread axis maps to -cpu (e.g. -cpu 1,2,4).
+// Figure 7's thread axis maps to -cpu (e.g. -cpu 1,2,4). The store shard
+// axis (BenchmarkStoreShards) is its own sub-benchmark dimension; see also
+// cmd/storebench.
 
 import (
 	"math/rand"
@@ -14,18 +16,19 @@ import (
 	"testing"
 	"time"
 
+	"repro/index"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/pmem"
 	"repro/internal/tpcc"
+	"repro/store"
 )
 
 const preloadN = 50_000
 
-func preloaded(b *testing.B, cfg bench.Config) (bench.Index, *pmem.Thread, []uint64) {
+func preloaded(b *testing.B, k index.Kind, mem pmem.Config, nodeSize int) (index.Index, *pmem.Thread, []uint64) {
 	b.Helper()
-	cfg.InlineValues = true
-	ix, th, err := bench.NewIndex(cfg)
+	ix, th, err := index.New(k, mem, index.Options{NodeSize: nodeSize, InlineValues: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -64,10 +67,10 @@ func BenchmarkFig3(b *testing.B) {
 // BenchmarkFig4 measures range scans (selection ratio 1%) per index at
 // 300ns read latency.
 func BenchmarkFig4(b *testing.B) {
-	for _, k := range []bench.Kind{bench.FastFair, bench.FPTree, bench.WBTree, bench.WORT, bench.SkipList} {
+	for _, k := range bench.AllSingleThreaded {
 		b.Run(string(k), func(b *testing.B) {
-			ix, th, keys := preloaded(b, bench.Config{Kind: k, NodeSize: 1024,
-				Mem: pmem.Config{ReadLatency: 300 * time.Nanosecond}})
+			ix, th, keys := preloaded(b, k,
+				pmem.Config{ReadLatency: 300 * time.Nanosecond}, 1024)
 			span := uint64(1) << 57 // ~1% of a uniform uint64 keyspace
 			rng := rand.New(rand.NewSource(3))
 			b.ResetTimer()
@@ -86,10 +89,10 @@ func BenchmarkFig4(b *testing.B) {
 
 // BenchmarkFig5b measures point search at 300ns read latency.
 func BenchmarkFig5b(b *testing.B) {
-	for _, k := range []bench.Kind{bench.FastFair, bench.FPTree, bench.WBTree, bench.WORT, bench.SkipList} {
+	for _, k := range bench.AllSingleThreaded {
 		b.Run(string(k), func(b *testing.B) {
-			ix, th, keys := preloaded(b, bench.Config{Kind: k,
-				Mem: pmem.Config{ReadLatency: 300 * time.Nanosecond}})
+			ix, th, keys := preloaded(b, k,
+				pmem.Config{ReadLatency: 300 * time.Nanosecond}, 0)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k := keys[i%len(keys)]
@@ -103,12 +106,13 @@ func BenchmarkFig5b(b *testing.B) {
 
 // BenchmarkFig5c measures inserts at 300ns write latency (TSO).
 func BenchmarkFig5c(b *testing.B) {
-	kinds := []bench.Kind{bench.FastFair, bench.FastFairLogging, bench.FPTree,
-		bench.WBTree, bench.WORT, bench.SkipList}
+	kinds := []index.Kind{index.FastFair, index.FastFairLogging, index.FPTree,
+		index.WBTree, index.WORT, index.SkipList}
 	for _, k := range kinds {
 		b.Run(string(k), func(b *testing.B) {
-			ix, th, err := bench.NewIndex(bench.Config{Kind: k, InlineValues: true,
-				Mem: pmem.Config{WriteLatency: 300 * time.Nanosecond}})
+			ix, th, err := index.New(k,
+				pmem.Config{WriteLatency: 300 * time.Nanosecond},
+				index.Options{InlineValues: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -126,15 +130,16 @@ func BenchmarkFig5c(b *testing.B) {
 // BenchmarkFig5d measures inserts on the non-TSO model (store fences cost
 // 30ns, write latency 1000ns).
 func BenchmarkFig5d(b *testing.B) {
-	for _, k := range []bench.Kind{bench.FastFair, bench.FPTree, bench.WBTree, bench.WORT, bench.SkipList} {
+	for _, k := range bench.AllSingleThreaded {
 		b.Run(string(k), func(b *testing.B) {
 			ns := 0
-			if k == bench.WBTree || k == bench.FPTree {
+			if k == index.WBTree || k == index.FPTree {
 				ns = 256
 			}
-			ix, th, err := bench.NewIndex(bench.Config{Kind: k, NodeSize: ns, InlineValues: true,
-				Mem: pmem.Config{WriteLatency: 1000 * time.Nanosecond,
-					Model: pmem.NonTSO, BarrierLatency: 30 * time.Nanosecond}})
+			ix, th, err := index.New(k,
+				pmem.Config{WriteLatency: 1000 * time.Nanosecond,
+					Model: pmem.NonTSO, BarrierLatency: 30 * time.Nanosecond},
+				index.Options{NodeSize: ns, InlineValues: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -167,8 +172,8 @@ func BenchmarkFig6(b *testing.B) {
 		})
 	}
 	for _, mix := range tpcc.Mixes[1:] {
-		b.Run(mix.Name+"/"+string(bench.FastFair), func(b *testing.B) {
-			bm, err := tpcc.NewBound(bench.FastFair, 1, mem)
+		b.Run(mix.Name+"/"+string(index.FastFair), func(b *testing.B) {
+			bm, err := tpcc.NewBound(index.FastFair, 1, mem)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -186,8 +191,8 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig7Search(b *testing.B) {
 	for _, k := range bench.AllConcurrent {
 		b.Run(string(k), func(b *testing.B) {
-			ix, _, keys := preloaded(b, bench.Config{Kind: k,
-				Mem: pmem.Config{WriteLatency: 300 * time.Nanosecond}})
+			ix, _, keys := preloaded(b, k,
+				pmem.Config{WriteLatency: 300 * time.Nanosecond}, 0)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				th := ix.Pool().NewThread()
@@ -206,10 +211,10 @@ func BenchmarkFig7Search(b *testing.B) {
 }
 
 func BenchmarkFig7Insert(b *testing.B) {
-	for _, k := range []bench.Kind{bench.FastFair, bench.FPTree, bench.BLink, bench.SkipList} {
+	for _, k := range []index.Kind{index.FastFair, index.FPTree, index.BLink, index.SkipList} {
 		b.Run(string(k), func(b *testing.B) {
-			ix, _, _ := preloaded(b, bench.Config{Kind: k,
-				Mem: pmem.Config{WriteLatency: 300 * time.Nanosecond}})
+			ix, _, _ := preloaded(b, k,
+				pmem.Config{WriteLatency: 300 * time.Nanosecond}, 0)
 			var ctr atomic.Uint64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
@@ -229,8 +234,8 @@ func BenchmarkFig7Insert(b *testing.B) {
 func BenchmarkFig7Mixed(b *testing.B) {
 	for _, k := range bench.AllConcurrent {
 		b.Run(string(k), func(b *testing.B) {
-			ix, _, keys := preloaded(b, bench.Config{Kind: k,
-				Mem: pmem.Config{WriteLatency: 300 * time.Nanosecond}})
+			ix, _, keys := preloaded(b, k,
+				pmem.Config{WriteLatency: 300 * time.Nanosecond}, 0)
 			var ctr atomic.Uint64
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
@@ -249,6 +254,46 @@ func BenchmarkFig7Mixed(b *testing.B) {
 						ix.Delete(th, k)
 					default: // 16 searches
 						ix.Get(th, keys[(i*2654435761)%len(keys)])
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStoreShards measures the sharded store's concurrent insert+get
+// throughput per shard count at 300ns write latency. Run with -cpu 8 (or
+// the host's core count) to see the shard axis separate; cmd/storebench
+// prints the same sweep as a table with speedup columns.
+func BenchmarkStoreShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			st, err := store.Open(store.Options{
+				Shards:    shards,
+				ShardSize: 256 << 20,
+				Mem:       pmem.Config{WriteLatency: 300 * time.Nanosecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			var ctr atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ss := st.NewSession()
+				defer ss.Close()
+				i := 0
+				for pb.Next() {
+					if i%2 == 0 {
+						k := ctr.Add(1)
+						if err := ss.Put(k, k^0xdead); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						k := ctr.Load()
+						ss.Get(k)
 					}
 					i++
 				}

@@ -1,0 +1,53 @@
+// Command storebench sweeps the sharded KV store's shard axis under
+// concurrent sessions and prints throughput plus speedup over one shard.
+//
+// Usage:
+//
+//	storebench [-n ops] [-shards 1,2,4,8] [-goroutines 8] [-wlat 300ns] [-rlat 0]
+//
+// The acceptance shape: on a host with >= 4 cores, 4 shards at 8 goroutines
+// should at least double 1-shard insert+get throughput under the simulated
+// PM latency model (per-shard writer latches and per-shard allocators stop
+// contending). On a single-core host the curve is flat, as with Figure 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/pmem"
+)
+
+func main() {
+	n := flag.Int("n", 200000, "total operations per cell")
+	shardsFlag := flag.String("shards", "1,2,4,8", "shard counts to sweep")
+	goroutines := flag.Int("goroutines", 8, "concurrent sessions")
+	wlat := flag.Duration("wlat", 300*time.Nanosecond, "simulated PM write latency")
+	rlat := flag.Duration("rlat", 0, "simulated PM read latency")
+	flag.Parse()
+
+	var counts []int
+	for _, s := range strings.Split(*shardsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "bad -shards value %q\n", s)
+			os.Exit(2)
+		}
+		counts = append(counts, v)
+	}
+
+	fmt.Printf("host cores: %d (speedups need real cores)\n\n", runtime.NumCPU())
+	tbl := bench.FigShards(bench.ShardConfig{
+		Ops:         *n,
+		ShardCounts: counts,
+		Goroutines:  *goroutines,
+		Mem:         pmem.Config{WriteLatency: *wlat, ReadLatency: *rlat},
+	})
+	tbl.Fprint(os.Stdout)
+}

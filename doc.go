@@ -1,9 +1,17 @@
 // Package repro is a Go reproduction of "Endurable Transient Inconsistency
-// in Byte-Addressable Persistent B+-Tree" (FAST 2018): the FAST and FAIR
-// algorithms, a simulated persistent-memory substrate, the paper's baseline
-// index structures, and a benchmark harness regenerating every figure.
+// in Byte-Addressable Persistent B+-Tree" (FAST 2018) grown into a small
+// persistent-memory storage stack. It contains the FAST and FAIR algorithms,
+// a simulated persistent-memory substrate with crash injection, the paper's
+// baseline index structures, a benchmark harness regenerating every figure,
+// and two public layers on top:
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The root package holds only the figure benchmarks (bench_test.go).
+//   - package index — the canonical Index interface, the Kind registry, and
+//     the Open/OpenExisting/New factories over every structure under test;
+//   - package store — a sharded concurrent KV store that hash-partitions
+//     keys across FAST+FAIR trees (one pool per shard), hides per-goroutine
+//     pmem.Thread handling behind Sessions, and reopens crash images with
+//     per-shard recovery.
+//
+// See README.md for the package layout and how to run the benchmarks. The
+// root package holds only the figure benchmarks (bench_test.go).
 package repro

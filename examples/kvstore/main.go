@@ -1,11 +1,14 @@
-// kvstore: a durable key-value store demonstrating the paper's core claim —
-// endurable transient inconsistency. It runs a write workload on a
-// crash-tracked pool, simulates a power failure at a random instant
-// (including mid-operation), and shows that
+// kvstore: a durable sharded key-value store demonstrating the paper's core
+// claim — endurable transient inconsistency — through the public store API.
+// Keys are hash-partitioned across four FAST+FAIR shards; a Session hides
+// the per-goroutine pmem.Thread plumbing. The demo runs a write workload on
+// crash-tracked shard pools, simulates a power failure at a random instant
+// (including mid-operation on one shard), and shows that
 //
 //  1. readers on the un-recovered image already see every committed write,
 //  2. the in-flight operation is atomic (fully applied or fully absent), and
-//  3. eager recovery restores pristine invariants without any log replay.
+//  3. store.Reopen restores pristine invariants on every shard without any
+//     log replay.
 //
 // Run with:
 //
@@ -17,88 +20,128 @@ import (
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
+	"repro/index"
 	"repro/internal/pmem"
+	"repro/store"
 )
 
 func main() {
-	pool := pmem.New(pmem.Config{Size: 256 << 20, TrackCrashes: true})
-	th := pool.NewThread()
-	store, err := core.New(pool, th, core.Options{NodeSize: 512})
+	opts := store.Options{
+		Shards:    4,
+		ShardSize: 128 << 20,
+		Mem:       pmem.Config{TrackCrashes: true},
+	}
+	st, err := store.Open(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ss := st.NewSession()
 
-	// Phase 1: committed history.
+	// Phase 1: committed history, batched across shards.
 	committed := map[uint64]uint64{}
 	rng := rand.New(rand.NewSource(42))
+	var batch []store.KV
 	for i := 0; i < 5000; i++ {
 		k := rng.Uint64() % 10000
 		v := rng.Uint64()
-		if err := store.Insert(th, k, v); err != nil {
-			log.Fatal(err)
-		}
+		batch = append(batch, store.KV{Key: k, Val: v})
 		committed[k] = v
 	}
-	fmt.Printf("committed %d distinct keys\n", len(committed))
+	if err := ss.PutBatch(batch); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed %d distinct keys across %d shards\n", len(committed), st.NumShards())
 
-	// Phase 2: start logging, run more writes, then "pull the plug" at a
-	// random point inside the logged tape. CrashRandom persists, per
-	// cache line, a random legal prefix of unflushed stores — the
-	// adversarial version of a real power failure.
-	pool.StartCrashLog()
+	// Phase 2: start logging on every shard, run more writes, then "pull
+	// the plug". The victim shard crashes at a random point inside its
+	// logged tape — possibly mid-insert — and per cache line a random
+	// legal prefix of unflushed stores survives (CrashRandom, the
+	// adversarial version of a real power failure). The other shards
+	// crash at their final log positions.
+	for i := 0; i < st.NumShards(); i++ {
+		st.Pool(i).StartCrashLog()
+	}
 	var tail []uint64
 	for i := 0; i < 200; i++ {
 		k := 20000 + uint64(i)
 		tail = append(tail, k)
-		if err := store.Insert(th, k, k*3); err != nil {
+		if err := ss.Put(k, k*3); err != nil {
 			log.Fatal(err)
 		}
 	}
-	point := rng.Intn(pool.LogLen())
-	img := pool.CrashImage(point, pmem.CrashRandom, rng)
-	fmt.Printf("simulated power failure at log event %d/%d\n", point, pool.LogLen())
+	victim := st.ShardFor(tail[len(tail)-1])
+	images := make([]*pmem.Pool, st.NumShards())
+	for i := 0; i < st.NumShards(); i++ {
+		pool := st.Pool(i)
+		point := pool.LogLen()
+		if i == victim {
+			point = rng.Intn(pool.LogLen())
+		}
+		images[i] = pool.CrashImage(point, pmem.CrashRandom, rng)
+	}
+	fmt.Printf("simulated power failure; shard %d crashed mid-tape\n", victim)
+	ss.Close()
+	st.Close()
 
-	// Phase 3: read the un-recovered image. No recovery has run: any
-	// half-shifted node is still in its transient state, and readers
-	// tolerate it via the duplicate-pointer check.
-	ith := img.NewThread()
-	crashed, err := core.Open(img, ith, core.Options{NodeSize: 512})
+	// Phase 3a: read the victim's un-recovered image directly through the
+	// index layer. No recovery has run: any half-shifted node is still in
+	// its transient state, and readers tolerate it via the
+	// duplicate-pointer check.
+	ith := images[victim].NewThread()
+	vix, err := index.OpenExisting(index.FastFair, images[victim], ith, index.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	onVictim := 0
 	for k, v := range committed {
-		got, ok := crashed.Get(ith, k)
+		if st.ShardFor(k) != victim {
+			continue
+		}
+		onVictim++
+		got, ok := vix.Get(ith, k)
+		if !ok || got != v {
+			log.Fatalf("LOST committed key %d on un-recovered shard: got (%d,%v)", k, got, ok)
+		}
+	}
+	fmt.Printf("pre-recovery: all %d committed keys on crashed shard %d intact\n", onVictim, victim)
+
+	// Phase 3b: reopen the whole store from the crash images. Reopen
+	// verifies every shard stamp and runs FAST+FAIR eager recovery.
+	crashed, err := store.Reopen(images, store.Options{Shards: st.NumShards()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	css := crashed.NewSession()
+	for k, v := range committed {
+		got, ok := css.Get(k)
 		if !ok || got != v {
 			log.Fatalf("LOST committed key %d: got (%d,%v)", k, got, ok)
 		}
 	}
-	fmt.Printf("pre-recovery: all %d committed keys intact\n", len(committed))
+	fmt.Printf("post-reopen: all %d committed keys intact on all shards\n", len(committed))
 
 	survived := 0
 	for _, k := range tail {
-		if v, ok := crashed.Get(ith, k); ok {
+		if v, ok := css.Get(k); ok {
 			if v != k*3 {
 				log.Fatalf("TORN write at key %d: %d", k, v)
 			}
 			survived++
 		}
 	}
-	fmt.Printf("pre-recovery: %d/%d in-flight-era writes survived, none torn\n", survived, len(tail))
+	fmt.Printf("post-reopen: %d/%d in-flight-era writes survived, none torn\n", survived, len(tail))
 
-	// Phase 4: eager recovery (writers would also fix lazily) and
-	// continued operation.
-	if err := crashed.Recover(ith); err != nil {
-		log.Fatal(err)
-	}
-	if err := crashed.CheckInvariants(ith); err != nil {
+	// Phase 4: Reopen already ran FAST+FAIR recovery on every shard;
+	// verify invariants and keep writing.
+	if err := crashed.CheckInvariants(); err != nil {
 		log.Fatalf("post-recovery invariants: %v", err)
 	}
 	for i := uint64(0); i < 1000; i++ {
-		if err := crashed.Insert(ith, 50000+i, i); err != nil {
+		if err := css.Put(50000+i, i); err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("post-recovery: invariants hold, %d keys total, store fully writable\n",
-		crashed.Len(ith))
+	fmt.Printf("post-recovery: invariants hold, %d keys total, store fully writable\n", css.Len())
+	css.Close()
+	crashed.Close()
 }

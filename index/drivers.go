@@ -1,0 +1,82 @@
+package index
+
+import (
+	"repro/internal/blink"
+	"repro/internal/core"
+	"repro/internal/fptree"
+	"repro/internal/pmem"
+	"repro/internal/skiplist"
+	"repro/internal/wbtree"
+	"repro/internal/wort"
+)
+
+// Built-in driver registrations. Each closure maps the generic Options onto
+// the implementation's own option struct; the FAST+FAIR variants differ only
+// in the core.Options flags they set.
+
+func coreOptions(o Options, leafLocks, loggedSplit bool) core.Options {
+	return core.Options{
+		NodeSize:     o.NodeSize,
+		RootSlot:     o.RootSlot,
+		LeafLocks:    leafLocks,
+		LoggedSplit:  loggedSplit,
+		InlineValues: o.InlineValues,
+	}
+}
+
+func registerCore(kind Kind, leafLocks, loggedSplit bool) {
+	Register(kind, Driver{
+		New: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return core.New(p, th, coreOptions(o, leafLocks, loggedSplit))
+		},
+		Open: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return core.Open(p, th, coreOptions(o, leafLocks, loggedSplit))
+		},
+	})
+}
+
+func init() {
+	registerCore(FastFair, false, false)
+	registerCore(FastFairLeafLock, true, false)
+	registerCore(FastFairLogging, false, true)
+
+	Register(FPTree, Driver{
+		New: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return fptree.New(p, th, fptree.Options{LeafSize: o.NodeSize, RootSlot: o.RootSlot})
+		},
+		Open: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return fptree.Open(p, th, fptree.Options{LeafSize: o.NodeSize, RootSlot: o.RootSlot})
+		},
+	})
+	Register(WBTree, Driver{
+		New: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return wbtree.New(p, th, wbtree.Options{NodeSize: o.NodeSize, RootSlot: o.RootSlot})
+		},
+		Open: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return wbtree.Open(p, th, wbtree.Options{NodeSize: o.NodeSize, RootSlot: o.RootSlot})
+		},
+	})
+	Register(WORT, Driver{
+		New: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return wort.New(p, th, wort.Options{RootSlot: o.RootSlot})
+		},
+		Open: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return wort.Open(p, th, wort.Options{RootSlot: o.RootSlot})
+		},
+	})
+	Register(SkipList, Driver{
+		New: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return skiplist.New(p, th, skiplist.Options{RootSlot: o.RootSlot})
+		},
+		Open: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return skiplist.Open(p, th, skiplist.Options{RootSlot: o.RootSlot})
+		},
+	})
+	// B-link keeps its root only in the pool header it was created with and
+	// has no Open path; it exists as the Figure 7 DRAM reference.
+	Register(BLink, Driver{
+		New: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return blink.New(p, th, blink.Options{NodeSize: o.NodeSize, RootSlot: o.RootSlot})
+		},
+	})
+}

@@ -1,0 +1,170 @@
+package index
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func allKinds() []Kind {
+	return []Kind{FastFair, FastFairLeafLock, FastFairLogging, FPTree, WBTree, WORT, SkipList, BLink}
+}
+
+func TestKindsRegistered(t *testing.T) {
+	reg := map[Kind]bool{}
+	for _, k := range Kinds() {
+		reg[k] = true
+	}
+	for _, k := range allKinds() {
+		if !reg[k] {
+			t.Errorf("kind %q not registered", k)
+		}
+	}
+}
+
+// TestOpenAllKinds drives the full operation set of every registered kind
+// through the public interface.
+func TestOpenAllKinds(t *testing.T) {
+	keys := []uint64{}
+	for i := uint64(1); i <= 500; i++ {
+		keys = append(keys, i*2654435761%100000+1)
+	}
+	for _, k := range allKinds() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			ix, th, err := New(k, pmem.Config{Size: 64 << 20}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ix.Kind() != k {
+				t.Fatalf("Kind() = %q, want %q", ix.Kind(), k)
+			}
+			want := map[uint64]uint64{}
+			for _, key := range keys {
+				if err := ix.Insert(th, key, key+1); err != nil {
+					t.Fatal(err)
+				}
+				want[key] = key + 1
+			}
+			for key, val := range want {
+				got, ok := ix.Get(th, key)
+				if !ok || got != val {
+					t.Fatalf("Get(%d) = (%d,%v), want %d", key, got, ok, val)
+				}
+			}
+			if n := ix.Len(th); n != len(want) {
+				t.Fatalf("Len = %d, want %d", n, len(want))
+			}
+			// Ascending scan over the whole range.
+			last := uint64(0)
+			seen := 0
+			ix.Scan(th, 0, ^uint64(0), func(key, val uint64) bool {
+				if key <= last && seen > 0 {
+					t.Fatalf("scan out of order: %d after %d", key, last)
+				}
+				if want[key] != val {
+					t.Fatalf("scan value %d for key %d, want %d", val, key, want[key])
+				}
+				last = key
+				seen++
+				return true
+			})
+			if seen != len(want) {
+				t.Fatalf("scan saw %d, want %d", seen, len(want))
+			}
+			if !ix.Delete(th, keys[0]) {
+				t.Fatal("delete failed")
+			}
+			if _, ok := ix.Get(th, keys[0]); ok {
+				t.Fatal("deleted key still present")
+			}
+			if err := ix.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ix.Close(); err != nil {
+				t.Fatal("Close is not idempotent:", err)
+			}
+		})
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, _, err := New("nope", pmem.Config{}, Options{}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("err = %v, want ErrUnknownKind", err)
+	}
+	p := pmem.New(pmem.Config{Size: 1 << 20})
+	if _, err := OpenExisting("nope", p, p.NewThread(), Options{}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("err = %v, want ErrUnknownKind", err)
+	}
+}
+
+// TestOpenExisting checks that every reopenable kind re-attaches to its pool
+// image with the data intact, and that B-link reports ErrNotReopenable.
+func TestOpenExisting(t *testing.T) {
+	for _, k := range allKinds() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			ix, th, err := New(k, pmem.Config{Size: 64 << 20}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(1); i <= 100; i++ {
+				if err := ix.Insert(th, i, i*7); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pool := ix.Pool()
+			if err := ix.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			th2 := pool.NewThread()
+			re, err := OpenExisting(k, pool, th2, Options{})
+			if k == BLink {
+				if !errors.Is(err, ErrNotReopenable) {
+					t.Fatalf("B-link reopen err = %v, want ErrNotReopenable", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Recover(re, th2); err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckInvariants(re, th2); err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(1); i <= 100; i++ {
+				got, ok := re.Get(th2, i)
+				if !ok || got != i*7 {
+					t.Fatalf("after reopen Get(%d) = (%d,%v), want %d", i, got, ok, i*7)
+				}
+			}
+		})
+	}
+}
+
+func TestRegisterForeignDriver(t *testing.T) {
+	Register("test-foreign", Driver{
+		New: func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error) {
+			return nil, errors.New("stub")
+		},
+	})
+	found := false
+	for _, k := range Kinds() {
+		if k == "test-foreign" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered kind not listed")
+	}
+	if _, _, err := New("test-foreign", pmem.Config{Size: 1 << 20}, Options{}); err == nil {
+		t.Fatal("stub driver error not surfaced")
+	}
+	if _, err := OpenExisting("test-foreign", pmem.New(pmem.Config{Size: 1 << 20}), nil, Options{}); !errors.Is(err, ErrNotReopenable) {
+		t.Fatalf("driver without Open: err = %v, want ErrNotReopenable", err)
+	}
+}

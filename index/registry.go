@@ -1,0 +1,123 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pmem"
+)
+
+// Driver builds and re-attaches one index kind. Third-party structures can
+// join the registry (and thereby every harness in the repository) by calling
+// Register.
+type Driver struct {
+	// New creates a fresh, empty index in the pool and persists it.
+	New func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error)
+	// Open attaches to an index image already present in the pool (e.g. a
+	// crash image). Nil when the kind cannot re-attach.
+	Open func(p *pmem.Pool, th *pmem.Thread, o Options) (Impl, error)
+}
+
+var (
+	regMu   sync.RWMutex
+	drivers = map[Kind]Driver{}
+)
+
+// Register adds a driver for kind. Registering a nil New or a duplicate kind
+// panics, as with database/sql drivers.
+func Register(kind Kind, d Driver) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if d.New == nil {
+		panic("index: Register with nil New for " + string(kind))
+	}
+	if _, dup := drivers[kind]; dup {
+		panic("index: Register called twice for " + string(kind))
+	}
+	drivers[kind] = d
+}
+
+// Kinds returns the registered kinds in sorted order.
+func Kinds() []Kind {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Kind, 0, len(drivers))
+	for k := range drivers {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func driverFor(kind Kind) (Driver, error) {
+	regMu.RLock()
+	d, ok := drivers[kind]
+	regMu.RUnlock()
+	if !ok {
+		return Driver{}, fmt.Errorf("%w %q", ErrUnknownKind, kind)
+	}
+	return d, nil
+}
+
+// Open creates a fresh index of the given kind inside pool, using th for the
+// initialising stores.
+func Open(kind Kind, pool *pmem.Pool, th *pmem.Thread, opts Options) (Index, error) {
+	d, err := driverFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	impl, err := d.New(pool, th, opts)
+	if err != nil {
+		return nil, fmt.Errorf("index: open %s: %w", kind, err)
+	}
+	return &handle{Impl: impl, kind: kind}, nil
+}
+
+// OpenExisting attaches to an index image already present in pool — a
+// reopened device or a crash image. It performs no recovery; call Recover to
+// repair transient inconsistency eagerly.
+func OpenExisting(kind Kind, pool *pmem.Pool, th *pmem.Thread, opts Options) (Index, error) {
+	d, err := driverFor(kind)
+	if err != nil {
+		return nil, err
+	}
+	if d.Open == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotReopenable, kind)
+	}
+	impl, err := d.Open(pool, th, opts)
+	if err != nil {
+		return nil, fmt.Errorf("index: reopen %s: %w", kind, err)
+	}
+	return &handle{Impl: impl, kind: kind}, nil
+}
+
+// New is the harness convenience factory: it builds a pool from mem
+// (defaulting Size to 1 GiB), opens a fresh index of the given kind in it,
+// and returns a first thread for the calling goroutine.
+func New(kind Kind, mem pmem.Config, opts Options) (Index, *pmem.Thread, error) {
+	if mem.Size == 0 {
+		mem.Size = 1 << 30
+	}
+	p := pmem.New(mem)
+	th := p.NewThread()
+	ix, err := Open(kind, p, th, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix, th, nil
+}
+
+// handle wraps a registered implementation with its registry identity.
+type handle struct {
+	Impl
+	kind Kind
+}
+
+func (h *handle) Kind() Kind { return h.kind }
+
+// Close releases the handle. It is idempotent and keeps the persistent
+// image intact; it exists so layered owners (package store) have a uniform
+// lifecycle to drive, and so future drivers with volatile resources (e.g.
+// FP-tree's rebuilt inner nodes) have a hook to drop them.
+func (h *handle) Close() error { return nil }

@@ -1,6 +1,7 @@
-// Package bench drives every index implementation through one interface and
-// regenerates the paper's figures as text tables (see cmd/benchfig and the
-// per-experiment index in DESIGN.md).
+// Package bench drives every index implementation through the public
+// index.Index interface and regenerates the paper's figures as text tables
+// (see cmd/benchfig and the per-experiment index in DESIGN.md). Kind
+// dispatch lives in the index registry; this package only shapes workloads.
 package bench
 
 import (
@@ -8,95 +9,15 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/blink"
-	"repro/internal/core"
-	"repro/internal/fptree"
+	"repro/index"
 	"repro/internal/pmem"
-	"repro/internal/skiplist"
-	"repro/internal/wbtree"
-	"repro/internal/wort"
-)
-
-// Index is the operation set shared by every structure under test.
-type Index interface {
-	Insert(th *pmem.Thread, key, val uint64) error
-	Get(th *pmem.Thread, key uint64) (uint64, bool)
-	Delete(th *pmem.Thread, key uint64) bool
-	Scan(th *pmem.Thread, lo, hi uint64, fn func(key, val uint64) bool)
-	Pool() *pmem.Pool
-}
-
-// Kind names an index implementation, using the paper's series letters.
-type Kind string
-
-const (
-	FastFair         Kind = "FAST+FAIR"          // F
-	FastFairLeafLock Kind = "FAST+FAIR+LeafLock" // Fig 7 variant
-	FastFairLogging  Kind = "FAST+Logging"       // L
-	FPTree           Kind = "FP-tree"            // P
-	WBTree           Kind = "wB+-tree"           // W
-	WORT             Kind = "WORT"               // O
-	SkipList         Kind = "SkipList"           // S
-	BLink            Kind = "B-link"             // Fig 7 reference
 )
 
 // AllSingleThreaded is the series set of Figures 4–6.
-var AllSingleThreaded = []Kind{FastFair, FPTree, WBTree, WORT, SkipList}
+var AllSingleThreaded = []index.Kind{index.FastFair, index.FPTree, index.WBTree, index.WORT, index.SkipList}
 
 // AllConcurrent is the series set of Figure 7.
-var AllConcurrent = []Kind{FastFair, FastFairLeafLock, FPTree, BLink, SkipList}
-
-// Config shapes an index instantiation.
-type Config struct {
-	Kind     Kind
-	PoolSize int64       // arena bytes (default 1 GiB)
-	Mem      pmem.Config // latency/model fields are honoured; Size comes from PoolSize
-	NodeSize int         // B+-tree node / FP-tree leaf size override
-	// InlineValues applies core.Options.InlineValues to the FAST+FAIR
-	// variants (requires unique non-zero values, which the figure
-	// workloads guarantee by using the key as the value). This matches
-	// the paper's setup, where leaf pointers are the stored values.
-	InlineValues bool
-}
-
-// NewIndex builds a fresh pool and index of the requested kind.
-func NewIndex(cfg Config) (Index, *pmem.Thread, error) {
-	mem := cfg.Mem
-	mem.Size = cfg.PoolSize
-	if mem.Size == 0 {
-		mem.Size = 1 << 30
-	}
-	p := pmem.New(mem)
-	th := p.NewThread()
-	var (
-		ix  Index
-		err error
-	)
-	switch cfg.Kind {
-	case FastFair:
-		ix, err = core.New(p, th, core.Options{NodeSize: cfg.NodeSize, InlineValues: cfg.InlineValues})
-	case FastFairLeafLock:
-		ix, err = core.New(p, th, core.Options{NodeSize: cfg.NodeSize, LeafLocks: true, InlineValues: cfg.InlineValues})
-	case FastFairLogging:
-		ix, err = core.New(p, th, core.Options{NodeSize: cfg.NodeSize, LoggedSplit: true, InlineValues: cfg.InlineValues})
-	case FPTree:
-		ix, err = fptree.New(p, th, fptree.Options{LeafSize: cfg.NodeSize})
-	case WBTree:
-		ix, err = wbtree.New(p, th, wbtree.Options{NodeSize: cfg.NodeSize})
-	case WORT:
-		ix, err = wort.New(p, th, wort.Options{})
-	case SkipList:
-		ix, err = skiplist.New(p, th, skiplist.Options{})
-	case BLink:
-		ix, err = blink.New(p, th, blink.Options{NodeSize: cfg.NodeSize})
-	default:
-		return nil, nil, fmt.Errorf("bench: unknown kind %q", cfg.Kind)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	return ix, th, nil
-}
+var AllConcurrent = []index.Kind{index.FastFair, index.FastFairLeafLock, index.FPTree, index.BLink, index.SkipList}
 
 // Keys returns n distinct-with-high-probability uniform random keys.
 func Keys(n int, seed int64) []uint64 {
@@ -114,7 +35,7 @@ func Keys(n int, seed int64) []uint64 {
 // Load inserts the keys with the key as value (values are therefore unique
 // and non-zero, satisfying the InlineValues contract), returning elapsed
 // time.
-func Load(ix Index, th *pmem.Thread, keys []uint64) (time.Duration, error) {
+func Load(ix index.Impl, th *pmem.Thread, keys []uint64) (time.Duration, error) {
 	t0 := time.Now()
 	for _, k := range keys {
 		if err := ix.Insert(th, k, k); err != nil {
@@ -126,7 +47,7 @@ func Load(ix Index, th *pmem.Thread, keys []uint64) (time.Duration, error) {
 
 // SearchAll probes every key, returning elapsed time; it fails fast on a
 // wrong result so benchmarks double as correctness checks.
-func SearchAll(ix Index, th *pmem.Thread, keys []uint64) (time.Duration, error) {
+func SearchAll(ix index.Impl, th *pmem.Thread, keys []uint64) (time.Duration, error) {
 	t0 := time.Now()
 	for _, k := range keys {
 		v, ok := ix.Get(th, k)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/index"
 	"repro/internal/core"
 	"repro/internal/pmem"
 )
@@ -100,15 +101,16 @@ func Fig4(n int) *Table {
 		Notes:  "expected shape: FAST+FAIR largest speedup (paper: up to ~20x), FP-tree and wB+-tree close behind, WORT poor",
 	}
 	ratios := []float64{0.001, 0.005, 0.01, 0.03, 0.05}
-	kinds := []Kind{FastFair, FPTree, WBTree, WORT, SkipList}
+	kinds := AllSingleThreaded
 	keys := Keys(n, 3)
 	sorted := append([]uint64{}, keys...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
-	times := map[Kind][]time.Duration{}
+	times := map[index.Kind][]time.Duration{}
 	for _, k := range kinds {
-		ix, th, err := NewIndex(Config{Kind: k, PoolSize: poolFor(n), InlineValues: true,
-			Mem: pmem.Config{ReadLatency: 300 * time.Nanosecond}, NodeSize: 1024})
+		ix, th, err := index.New(k,
+			pmem.Config{Size: poolFor(n), ReadLatency: 300 * time.Nanosecond},
+			index.Options{NodeSize: 1024, InlineValues: true})
 		if err != nil {
 			panic(err)
 		}
@@ -139,7 +141,7 @@ func Fig4(n int) *Table {
 	}
 	for ri, ratio := range ratios {
 		row := []string{fmt.Sprintf("%.1f%%", ratio*100)}
-		base := times[SkipList][ri]
+		base := times[index.SkipList][ri]
 		for _, k := range kinds {
 			row = append(row, fmt.Sprintf("%.2fx", float64(base)/float64(times[k][ri])))
 		}
@@ -149,7 +151,7 @@ func Fig4(n int) *Table {
 }
 
 // fig5Kinds is the Figure 5 series: F, L, P, W, O, S.
-var fig5Kinds = []Kind{FastFair, FastFairLogging, FPTree, WBTree, WORT, SkipList}
+var fig5Kinds = []index.Kind{index.FastFair, index.FastFairLogging, index.FPTree, index.WBTree, index.WORT, index.SkipList}
 
 // Fig5a reproduces Figure 5(a): single-threaded insertion time broken into
 // clflush / search / node-update, sweeping symmetric PM latency.
@@ -162,8 +164,9 @@ func Fig5a(n int) *Table {
 	keys := Keys(n, 4)
 	for _, lat := range []time.Duration{0, 120 * time.Nanosecond, 300 * time.Nanosecond, 600 * time.Nanosecond, 900 * time.Nanosecond} {
 		for _, k := range fig5Kinds {
-			ix, th, err := NewIndex(Config{Kind: k, PoolSize: poolFor(n), InlineValues: true,
-				Mem: pmem.Config{ReadLatency: lat, WriteLatency: lat}})
+			ix, th, err := index.New(k,
+				pmem.Config{Size: poolFor(n), ReadLatency: lat, WriteLatency: lat},
+				index.Options{InlineValues: true})
 			if err != nil {
 				panic(err)
 			}
@@ -197,8 +200,9 @@ func Fig5b(n int) *Table {
 	for _, lat := range []time.Duration{0, 120 * time.Nanosecond, 300 * time.Nanosecond, 600 * time.Nanosecond, 900 * time.Nanosecond} {
 		row := []string{lat.String()}
 		for _, k := range AllSingleThreaded {
-			ix, th, err := NewIndex(Config{Kind: k, PoolSize: poolFor(n), InlineValues: true,
-				Mem: pmem.Config{ReadLatency: lat}})
+			ix, th, err := index.New(k,
+				pmem.Config{Size: poolFor(n), ReadLatency: lat},
+				index.Options{InlineValues: true})
 			if err != nil {
 				panic(err)
 			}
@@ -228,8 +232,9 @@ func Fig5c(n int) *Table {
 	for _, lat := range []time.Duration{0, 120 * time.Nanosecond, 300 * time.Nanosecond, 600 * time.Nanosecond, 900 * time.Nanosecond} {
 		row := []string{lat.String()}
 		for _, k := range fig5Kinds {
-			ix, th, err := NewIndex(Config{Kind: k, PoolSize: poolFor(n), InlineValues: true,
-				Mem: pmem.Config{WriteLatency: lat}})
+			ix, th, err := index.New(k,
+				pmem.Config{Size: poolFor(n), WriteLatency: lat},
+				index.Options{InlineValues: true})
 			if err != nil {
 				panic(err)
 			}
@@ -248,7 +253,7 @@ func Fig5c(n int) *Table {
 // a non-TSO machine (store fences cost BarrierLatency; wB+-tree and FP-tree
 // limited to 256B nodes as on the paper's 4-byte-word ARM testbed).
 func Fig5d(n int) *Table {
-	kinds := []Kind{FastFair, FPTree, WBTree, WORT, SkipList}
+	kinds := AllSingleThreaded
 	tbl := &Table{
 		Title:  fmt.Sprintf("Figure 5(d): insert time vs write latency, non-TSO (usec/op), %d keys", n),
 		Header: append([]string{"write-latency"}, kindNames(kinds)...),
@@ -259,12 +264,13 @@ func Fig5d(n int) *Table {
 		row := []string{lat.String()}
 		for _, k := range kinds {
 			ns := 0
-			if k == WBTree || k == FPTree {
+			if k == index.WBTree || k == index.FPTree {
 				ns = 256
 			}
-			ix, th, err := NewIndex(Config{Kind: k, PoolSize: poolFor(n), NodeSize: ns, InlineValues: true,
-				Mem: pmem.Config{WriteLatency: lat, Model: pmem.NonTSO,
-					BarrierLatency: 30 * time.Nanosecond}})
+			ix, th, err := index.New(k,
+				pmem.Config{Size: poolFor(n), WriteLatency: lat, Model: pmem.NonTSO,
+					BarrierLatency: 30 * time.Nanosecond},
+				index.Options{NodeSize: ns, InlineValues: true})
 			if err != nil {
 				panic(err)
 			}
@@ -285,7 +291,7 @@ func Fig5d(n int) *Table {
 func Fig7(workload string, n int, threads []int) *Table {
 	kinds := AllConcurrent
 	if workload == "insert" {
-		kinds = []Kind{FastFair, FPTree, BLink, SkipList} // as in Fig 7(b)
+		kinds = []index.Kind{index.FastFair, index.FPTree, index.BLink, index.SkipList} // as in Fig 7(b)
 	}
 	tbl := &Table{
 		Title:  fmt.Sprintf("Figure 7 (%s): throughput Kops/sec, %d preloaded keys, write latency 300ns", workload, n),
@@ -296,8 +302,9 @@ func Fig7(workload string, n int, threads []int) *Table {
 	for _, nt := range threads {
 		row := []string{fmt.Sprintf("%d", nt)}
 		for _, k := range kinds {
-			ix, th, err := NewIndex(Config{Kind: k, PoolSize: 2 * poolFor(n), InlineValues: true,
-				Mem: pmem.Config{WriteLatency: 300 * time.Nanosecond}})
+			ix, th, err := index.New(k,
+				pmem.Config{Size: 2 * poolFor(n), WriteLatency: 300 * time.Nanosecond},
+				index.Options{InlineValues: true})
 			if err != nil {
 				panic(err)
 			}
@@ -325,7 +332,7 @@ func Fig7(workload string, n int, threads []int) *Table {
 	return tbl
 }
 
-func runWorkload(ix Index, th *pmem.Thread, workload string, preload []uint64, g, ops int) {
+func runWorkload(ix index.Index, th *pmem.Thread, workload string, preload []uint64, g, ops int) {
 	n := len(preload)
 	switch workload {
 	case "search":
@@ -378,8 +385,9 @@ func Flushes(n int) *Table {
 	}
 	keys := Keys(n, 9)
 	for _, k := range fig5Kinds {
-		ix, th, err := NewIndex(Config{Kind: k, PoolSize: poolFor(n), InlineValues: true,
-			Mem: pmem.Config{ReadLatency: 300 * time.Nanosecond}})
+		ix, th, err := index.New(k,
+			pmem.Config{Size: poolFor(n), ReadLatency: 300 * time.Nanosecond},
+			index.Options{InlineValues: true})
 		if err != nil {
 			panic(err)
 		}
@@ -403,7 +411,7 @@ func Flushes(n int) *Table {
 	return tbl
 }
 
-func kindNames(ks []Kind) []string {
+func kindNames(ks []index.Kind) []string {
 	out := make([]string, len(ks))
 	for i, k := range ks {
 		out[i] = string(k)

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pmem"
+	"repro/store"
+)
+
+// ShardConfig shapes a shard-scaling run (see FigShards).
+type ShardConfig struct {
+	// Ops is the total operation count per cell, split across goroutines.
+	Ops int
+	// ShardCounts is the sweep axis (e.g. 1,2,4,8).
+	ShardCounts []int
+	// Goroutines is the concurrent session count. Default 8.
+	Goroutines int
+	// Mem carries the simulated-latency configuration for every shard.
+	Mem pmem.Config
+}
+
+// FigShards measures the sharded store's concurrent throughput as the shard
+// count grows, for an insert-only and a mixed insert+get workload. Columns
+// report Kops/sec plus the speedup over the first shard count. This is the
+// repository's scaling headline beyond the paper: one FAST+FAIR tree already
+// scales readers lock-free; hash partitioning multiplies writer and
+// allocator parallelism. Speedups require real cores — on a single-core
+// host the curve is flat, as with Figure 7.
+func FigShards(cfg ShardConfig) *Table {
+	if cfg.Goroutines == 0 {
+		cfg.Goroutines = 8
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Store scaling: shards vs throughput, %d ops, %d goroutines, write latency %v",
+			cfg.Ops, cfg.Goroutines, cfg.Mem.WriteLatency),
+		Header: []string{"shards", "insert Kops/s", "insert speedup", "insert+get Kops/s", "insert+get speedup"},
+		Notes:  "expected shape: near-linear insert scaling until shards exceed cores; insert+get scales further (gets are lock-free)",
+	}
+	var baseIns, baseMix float64
+	for _, shards := range cfg.ShardCounts {
+		ins := shardRun(shards, cfg, false)
+		mix := shardRun(shards, cfg, true)
+		if baseIns == 0 {
+			baseIns, baseMix = ins, mix
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", shards),
+			fmt.Sprintf("%.0f", ins/1000),
+			fmt.Sprintf("%.2fx", ins/baseIns),
+			fmt.Sprintf("%.0f", mix/1000),
+			fmt.Sprintf("%.2fx", mix/baseMix),
+		})
+	}
+	return tbl
+}
+
+// shardRun drives one cell: cfg.Goroutines sessions over a fresh store with
+// the given shard count, returning ops/sec. Keys come from one shared
+// monotonic counter — the canonical B+-tree write hotspot (timestamps, IDs):
+// on a single tree every writer chases the same rightmost leaf latch, while
+// hash partitioning spreads the append point across shards. With
+// mixed=false every op is a Put of the next key; with mixed=true the loop
+// alternates Put and Get of a recently written key.
+func shardRun(shards int, cfg ShardConfig, mixed bool) float64 {
+	st, err := store.Open(store.Options{
+		Shards:    shards,
+		ShardSize: 64 << 20,
+		Mem:       cfg.Mem,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer st.Close()
+	perG := cfg.Ops / cfg.Goroutines
+	var ctr atomic.Uint64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < cfg.Goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ss := st.NewSession()
+			defer ss.Close()
+			var last uint64
+			for i := 0; i < perG; i++ {
+				if mixed && i%2 == 1 && last != 0 {
+					// Re-read this session's own latest key; it
+					// must be present (completed Puts are durable
+					// and visible).
+					if _, ok := ss.Get(last); !ok {
+						panic("store: just-written key missing")
+					}
+					continue
+				}
+				k := ctr.Add(1)
+				if err := ss.Put(k, k^0xdead); err != nil {
+					panic(err)
+				}
+				last = k
+			}
+		}()
+	}
+	wg.Wait()
+	el := time.Since(t0)
+	return float64(perG*cfg.Goroutines) / el.Seconds()
+}

@@ -5,39 +5,22 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/index"
 	"repro/internal/bench"
 	"repro/internal/pmem"
 )
 
-// bound adapts a (bench.Index, *pmem.Thread) pair to the thread-less tpcc
-// Index interface, binding each table to its own pool's thread.
-type bound struct {
-	ix bench.Index
-	th *pmem.Thread
-}
-
-func (b bound) Insert(key, val uint64) error { return b.ix.Insert(b.th, key, val) }
-func (b bound) Get(key uint64) (uint64, bool) {
-	return b.ix.Get(b.th, key)
-}
-func (b bound) Delete(key uint64) bool { return b.ix.Delete(b.th, key) }
-func (b bound) Scan(lo, hi uint64, fn func(key, val uint64) bool) {
-	b.ix.Scan(b.th, lo, hi, fn)
-}
-
 // NewBound builds a TPC-C instance whose tables are indexes of the given
-// kind, each in its own pool with the given latency configuration.
-func NewBound(k bench.Kind, warehouses int, mem pmem.Config) (*Bench, error) {
-	mk := func(name string) (Index, error) {
-		size := int64(64 << 20)
+// kind opened through the registry, each in its own pool with the given
+// latency configuration.
+func NewBound(k index.Kind, warehouses int, mem pmem.Config) (*Bench, error) {
+	mk := func(name string) (index.Index, *pmem.Thread, error) {
+		m := mem
+		m.Size = 64 << 20
 		if name == "orderline" || name == "stock" || name == "customer" || name == "history" {
-			size = 256 << 20
+			m.Size = 256 << 20
 		}
-		ix, th, err := bench.NewIndex(bench.Config{Kind: k, PoolSize: size, Mem: mem})
-		if err != nil {
-			return nil, err
-		}
-		return bound{ix, th}, nil
+		return index.New(k, m, index.Options{})
 	}
 	return New(warehouses, mk)
 }

@@ -13,15 +13,24 @@ package tpcc
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/index"
+	"repro/internal/pmem"
 )
 
-// Index is a thread-bound view of an index structure: implementations carry
-// their own pmem thread/pool, letting each table live in its own pool.
-type Index interface {
-	Insert(key, val uint64) error
-	Get(key uint64) (uint64, bool)
-	Delete(key uint64) bool
-	Scan(lo, hi uint64, fn func(key, val uint64) bool)
+// table binds a public index.Index to the thread its table's operations run
+// on, so transactions need not mention *pmem.Thread. Each table lives in
+// its own pool (th may be nil for thread-agnostic oracles in tests).
+type table struct {
+	ix index.Index
+	th *pmem.Thread
+}
+
+func (t table) Insert(key, val uint64) error  { return t.ix.Insert(t.th, key, val) }
+func (t table) Get(key uint64) (uint64, bool) { return t.ix.Get(t.th, key) }
+func (t table) Delete(key uint64) bool        { return t.ix.Delete(t.th, key) }
+func (t table) Scan(lo, hi uint64, fn func(key, val uint64) bool) {
+	t.ix.Scan(t.th, lo, hi, fn)
 }
 
 // Scale parameters (reduced from the TPC-C spec so a run loads in seconds;
@@ -57,16 +66,16 @@ var TableNames = []string{
 type Bench struct {
 	W int // warehouses
 
-	warehouse Index // w            -> ytd cents
-	district  Index // (w,d)        -> next_o_id<<32 | ytd
-	customer  Index // (w,d,c)      -> balance (biased by 1<<40)
-	order     Index // (w,d,o)      -> c<<16 | ol_cnt
-	neworder  Index // (w,d,o)      -> 1
-	orderline Index // (w,d,o,ol)   -> item<<16 | qty
-	custorder Index // (w,d,c,o)    -> o
-	stock     Index // (w,i)        -> quantity
-	item      Index // i            -> price cents
-	history   Index // seq          -> amount
+	warehouse table // w            -> ytd cents
+	district  table // (w,d)        -> next_o_id<<32 | ytd
+	customer  table // (w,d,c)      -> balance (biased by 1<<40)
+	order     table // (w,d,o)      -> c<<16 | ol_cnt
+	neworder  table // (w,d,o)      -> 1
+	orderline table // (w,d,o,ol)   -> item<<16 | qty
+	custorder table // (w,d,c,o)    -> o
+	stock     table // (w,i)        -> quantity
+	item      table // i            -> price cents
+	history   table // seq          -> amount
 
 	histSeq uint64
 	nextO   map[uint64]uint64 // volatile mirror of district next_o_id for key gen
@@ -89,20 +98,20 @@ func kWDCO(w, d, c int, o uint64) uint64 {
 func kWI(w, i int) uint64 { return uint64(w)<<32 | uint64(i) }
 
 // New builds a TPC-C instance with W warehouses; newTable is called once per
-// table name to create its backing index.
-func New(w int, newTable func(name string) (Index, error)) (*Bench, error) {
+// table name to create its backing index and the thread it is driven with.
+func New(w int, newTable func(name string) (index.Index, *pmem.Thread, error)) (*Bench, error) {
 	b := &Bench{W: w, nextO: map[uint64]uint64{}}
-	tables := map[string]*Index{
+	tables := map[string]*table{
 		"warehouse": &b.warehouse, "district": &b.district, "customer": &b.customer,
 		"order": &b.order, "neworder": &b.neworder, "orderline": &b.orderline,
 		"custorder": &b.custorder, "stock": &b.stock, "item": &b.item, "history": &b.history,
 	}
 	for _, name := range TableNames {
-		ix, err := newTable(name)
+		ix, th, err := newTable(name)
 		if err != nil {
 			return nil, fmt.Errorf("tpcc: creating %s: %w", name, err)
 		}
-		*tables[name] = ix
+		*tables[name] = table{ix: ix, th: th}
 	}
 	return b, b.load()
 }

@@ -4,29 +4,35 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/index"
 	"repro/internal/bench"
 	"repro/internal/pmem"
 )
 
-// mapIndex is an in-memory oracle implementation of Index used to validate
-// the workload logic itself, independent of any tree.
+// mapIndex is an in-memory oracle implementation of index.Index used to
+// validate the workload logic itself, independent of any tree. It ignores
+// the thread parameter (it has no pool).
 type mapIndex struct {
 	m map[uint64]uint64
 }
 
 func newMapIndex() *mapIndex { return &mapIndex{m: map[uint64]uint64{}} }
 
-func (x *mapIndex) Insert(k, v uint64) error { x.m[k] = v; return nil }
-func (x *mapIndex) Get(k uint64) (uint64, bool) {
+func (x *mapIndex) Insert(_ *pmem.Thread, k, v uint64) error { x.m[k] = v; return nil }
+func (x *mapIndex) Get(_ *pmem.Thread, k uint64) (uint64, bool) {
 	v, ok := x.m[k]
 	return v, ok
 }
-func (x *mapIndex) Delete(k uint64) bool {
+func (x *mapIndex) Delete(_ *pmem.Thread, k uint64) bool {
 	_, ok := x.m[k]
 	delete(x.m, k)
 	return ok
 }
-func (x *mapIndex) Scan(lo, hi uint64, fn func(k, v uint64) bool) {
+func (x *mapIndex) Len(_ *pmem.Thread) int { return len(x.m) }
+func (x *mapIndex) Pool() *pmem.Pool       { return nil }
+func (x *mapIndex) Kind() index.Kind       { return "map-oracle" }
+func (x *mapIndex) Close() error           { return nil }
+func (x *mapIndex) Scan(_ *pmem.Thread, lo, hi uint64, fn func(k, v uint64) bool) {
 	// Sorted scan over the map (slow; fine for tests).
 	var keys []uint64
 	for k := range x.m {
@@ -47,7 +53,7 @@ func (x *mapIndex) Scan(lo, hi uint64, fn func(k, v uint64) bool) {
 }
 
 func TestWorkloadLogicOnOracle(t *testing.T) {
-	b, err := New(1, func(string) (Index, error) { return newMapIndex(), nil })
+	b, err := New(1, func(string) (index.Index, *pmem.Thread, error) { return newMapIndex(), nil, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,8 +76,8 @@ func TestMixPercentagesSumTo100(t *testing.T) {
 // TestAllKindsRunTPCC drives a short mixed run on every index kind; any
 // index bug surfaces as a transaction error (missing customer/stock/etc.).
 func TestAllKindsRunTPCC(t *testing.T) {
-	kinds := append([]bench.Kind{}, bench.AllSingleThreaded...)
-	kinds = append(kinds, bench.FastFairLogging, bench.FastFairLeafLock, bench.BLink)
+	kinds := append([]index.Kind{}, bench.AllSingleThreaded...)
+	kinds = append(kinds, index.FastFairLogging, index.FastFairLeafLock, index.BLink)
 	for _, k := range kinds {
 		k := k
 		t.Run(string(k), func(t *testing.T) {
@@ -93,7 +99,7 @@ func TestAllKindsRunTPCC(t *testing.T) {
 // TestDeliveryDrainsNewOrders checks Delivery actually consumes the oldest
 // undelivered orders.
 func TestDeliveryDrainsNewOrders(t *testing.T) {
-	b, err := New(1, func(string) (Index, error) { return newMapIndex(), nil })
+	b, err := New(1, func(string) (index.Index, *pmem.Thread, error) { return newMapIndex(), nil, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +128,7 @@ func TestDeliveryDrainsNewOrders(t *testing.T) {
 // TestConsistencyYTD: warehouse YTD equals the sum of history amounts for a
 // payment-only run (a TPC-C consistency condition).
 func TestConsistencyYTD(t *testing.T) {
-	b, err := New(1, func(string) (Index, error) { return newMapIndex(), nil })
+	b, err := New(1, func(string) (index.Index, *pmem.Thread, error) { return newMapIndex(), nil, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +152,7 @@ func TestConsistencyYTD(t *testing.T) {
 // TestNewOrderAdvancesDistrict checks o_id monotonicity between the index
 // and the volatile mirror.
 func TestNewOrderAdvancesDistrict(t *testing.T) {
-	b, err := New(1, func(string) (Index, error) { return newMapIndex(), nil })
+	b, err := New(1, func(string) (index.Index, *pmem.Thread, error) { return newMapIndex(), nil, nil })
 	if err != nil {
 		t.Fatal(err)
 	}

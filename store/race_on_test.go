@@ -1,0 +1,7 @@
+//go:build race
+
+package store
+
+// raceEnabled reports that the race detector is active; timing-based
+// assertions are skipped because instrumentation distorts relative costs.
+const raceEnabled = true

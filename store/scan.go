@@ -1,0 +1,94 @@
+package store
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// Scan visits pairs with lo <= key <= hi in ascending global key order,
+// calling fn until it returns false. Shards hold disjoint hash partitions
+// whose individual scans are ordered, so the global order is a k-way merge:
+// each shard streams its range on its own goroutine (using that shard's
+// session thread) and the caller's goroutine merges the streams with a heap.
+// Per shard the scan has the paper's read-uncommitted semantics under
+// concurrent writers; there is no cross-shard snapshot.
+func (ss *Session) Scan(lo, hi uint64, fn func(key, val uint64) bool) {
+	if hi < lo {
+		return
+	}
+	n := len(ss.ths)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	cursors := make([]*cursor, n)
+	for i := 0; i < n; i++ {
+		c := &cursor{ch: make(chan KV, scanBuf)}
+		cursors[i] = c
+		wg.Add(1)
+		go func(i int, c *cursor) {
+			defer wg.Done()
+			defer close(c.ch)
+			ix, th := ss.s.shards[i].ix, ss.ths[i]
+			ix.Scan(th, lo, hi, func(k, v uint64) bool {
+				select {
+				case c.ch <- KV{k, v}:
+					return true
+				case <-done:
+					return false
+				}
+			})
+		}(i, c)
+	}
+	// Always release the producers, even when fn stops the merge early.
+	defer wg.Wait()
+	defer close(done)
+
+	h := make(mergeHeap, 0, n)
+	for _, c := range cursors {
+		if c.advance() {
+			h = append(h, c)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		c := h[0]
+		if !fn(c.cur.Key, c.cur.Val) {
+			return
+		}
+		if c.advance() {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+}
+
+// scanBuf is the per-shard stream buffer; deep enough to keep producers
+// running ahead of the merge, shallow enough that an early stop wastes
+// little work.
+const scanBuf = 64
+
+type cursor struct {
+	ch  chan KV
+	cur KV
+}
+
+// advance pulls the cursor's next pair, reporting whether one exists.
+func (c *cursor) advance() bool {
+	kv, ok := <-c.ch
+	c.cur = kv
+	return ok
+}
+
+type mergeHeap []*cursor
+
+func (h mergeHeap) Len() int           { return len(h) }
+func (h mergeHeap) Less(i, j int) bool { return h[i].cur.Key < h[j].cur.Key }
+func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(*cursor)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,113 @@
+package store
+
+import "repro/internal/pmem"
+
+// Session is a goroutine's handle on the store. It owns one pmem.Thread per
+// shard, so callers never thread *pmem.Thread by hand: open one Session per
+// goroutine, use it from that goroutine only, and Close it to fold its
+// latency statistics back into the shard pools.
+//
+// Any number of Sessions may operate concurrently; the underlying FAST+FAIR
+// shards give lock-free reads and per-node writer latches.
+type Session struct {
+	s   *Store
+	ths []*pmem.Thread
+}
+
+// NewSession returns a fresh Session bound to the calling goroutine. It
+// panics on a closed store (a lifecycle misuse, like reusing a closed
+// sync primitive).
+func (s *Store) NewSession() *Session {
+	if s.closed {
+		panic("store: NewSession on closed store")
+	}
+	ths := make([]*pmem.Thread, len(s.shards))
+	for i, sh := range s.shards {
+		ths[i] = sh.pool.NewThread()
+	}
+	return &Session{s: s, ths: ths}
+}
+
+// Close folds the session's per-shard statistics into the pools. The
+// Session must not be used afterwards.
+func (ss *Session) Close() {
+	for _, th := range ss.ths {
+		th.Release()
+	}
+	ss.ths = nil
+}
+
+// KV is one key-value pair, the batch-put unit.
+type KV struct {
+	Key, Val uint64
+}
+
+// Put stores val under key, replacing any existing value. Completed Puts
+// are persistent; an in-flight Put is atomic under any crash.
+func (ss *Session) Put(key, val uint64) error {
+	i := ss.s.ShardFor(key)
+	return ss.s.shards[i].ix.Insert(ss.ths[i], key, val)
+}
+
+// Get returns the value stored under key.
+func (ss *Session) Get(key uint64) (uint64, bool) {
+	i := ss.s.ShardFor(key)
+	return ss.s.shards[i].ix.Get(ss.ths[i], key)
+}
+
+// Delete removes key, reporting whether it was present.
+func (ss *Session) Delete(key uint64) bool {
+	i := ss.s.ShardFor(key)
+	return ss.s.shards[i].ix.Delete(ss.ths[i], key)
+}
+
+// PutBatch groups the pairs by shard and inserts each group on its own
+// goroutine, so a bulk load drives every shard in parallel from one call.
+// Pairs within a shard apply in slice order (later duplicates win); each
+// pair is individually atomic, there is no cross-pair transaction. The
+// first error aborts that shard's remaining pairs and is returned.
+func (ss *Session) PutBatch(pairs []KV) error {
+	n := len(ss.ths)
+	if len(pairs) == 0 {
+		return nil
+	}
+	groups := make([][]KV, n)
+	for _, kv := range pairs {
+		i := ss.s.ShardFor(kv.Key)
+		groups[i] = append(groups[i], kv)
+	}
+	errs := make(chan error, n)
+	active := 0
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		active++
+		go func(i int, g []KV) {
+			ix, th := ss.s.shards[i].ix, ss.ths[i]
+			for _, kv := range g {
+				if err := ix.Insert(th, kv.Key, kv.Val); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(i, g)
+	}
+	var first error
+	for ; active > 0; active-- {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Len counts the keys across all shards (full scans; not a hot path).
+func (ss *Session) Len() int {
+	total := 0
+	for i, sh := range ss.s.shards {
+		total += sh.ix.Len(ss.ths[i])
+	}
+	return total
+}

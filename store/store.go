@@ -1,0 +1,247 @@
+// Package store layers a sharded, concurrent key-value store over the
+// FAST+FAIR B+-tree. Keys are hash-partitioned across N independent shards,
+// each an index structure in its own pmem.Pool, so writers contend only
+// within a shard and each shard keeps its own allocator, latency state and
+// crash log — the standard multi-core scaling route for persistent trees
+// (FP-tree's and Circ-Tree's partitioned deployments take the same shape).
+//
+// Callers never handle *pmem.Thread directly: a Session owns one thread per
+// shard for its goroutine (see NewSession). Cross-shard reads are merged on
+// the fly, so Scan streams the global key order even though shards are
+// hash-partitioned.
+//
+// Durability matches the paper's contract per shard: every completed Put is
+// persistent without logging, an in-flight Put is atomic under any crash,
+// and Reopen runs FAST+FAIR recovery on every shard to repair transient
+// inconsistency eagerly.
+package store
+
+import (
+	"fmt"
+
+	"repro/index"
+	"repro/internal/pmem"
+)
+
+// Options configures a Store. The zero value gives 4 FAST+FAIR shards of
+// 256 MiB each at DRAM latency.
+type Options struct {
+	// Shards is the number of hash partitions (and pools). Default 4.
+	Shards int
+	// ShardSize is the arena capacity per shard in bytes. Default 256 MiB.
+	ShardSize int64
+	// Mem carries the latency/model configuration applied to every shard
+	// pool. Mem.Size is ignored; ShardSize wins.
+	Mem pmem.Config
+	// Kind selects the index structure per shard. Default index.FastFair.
+	// Reopen requires a kind whose driver can re-attach pool images.
+	Kind index.Kind
+	// NodeSize overrides the per-shard node size.
+	NodeSize int
+}
+
+func (o *Options) fill() error {
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.Shards < 1 || o.Shards >= maxShards {
+		return fmt.Errorf("store: Shards %d out of range [1,%d)", o.Shards, maxShards)
+	}
+	if o.ShardSize == 0 {
+		o.ShardSize = 256 << 20
+	}
+	if o.Kind == "" {
+		o.Kind = index.FastFair
+	}
+	return nil
+}
+
+// maxShards bounds the stamp encoding (16 bits) far above any sane count.
+const maxShards = 1 << 16
+
+// The pool root slots holding shard metadata. The tree anchors at slot 0
+// and the FAST+Logging split log would claim slot 4, so slots 2 and 3 are
+// free for every supported kind. stampSlot identifies the shard (magic,
+// shard count, shard id); shapeSlot records how the shard's index was
+// configured (kind hash, node size) so Reopen refuses to misinterpret an
+// image with the wrong options.
+const (
+	stampSlot = 3
+	shapeSlot = 2
+)
+
+// stampMagic brands a pool as a store shard ("FF+S" in the top word).
+const stampMagic = uint64(0x46462b53)
+
+func stamp(shardID, shards int) int64 {
+	return int64(stampMagic<<32 | uint64(shards)<<16 | uint64(shardID))
+}
+
+// shape encodes the index configuration: FNV-1a hash of the kind name in
+// the top word, the raw NodeSize option (0 = kind default) in the bottom.
+func shape(kind index.Kind, nodeSize int) int64 {
+	h := uint64(2166136261)
+	for i := 0; i < len(kind); i++ {
+		h ^= uint64(kind[i])
+		h *= 16777619
+	}
+	return int64((h&0xffffffff)<<32 | uint64(uint32(nodeSize)))
+}
+
+// Store is a sharded KV store. All operations go through Sessions; the Store
+// itself only manages shard lifecycle.
+type Store struct {
+	opts   Options
+	shards []shard
+	closed bool
+}
+
+type shard struct {
+	pool *pmem.Pool
+	ix   index.Index
+}
+
+// Open creates a fresh store: opts.Shards pools, one index per pool, each
+// branded with a shard stamp so Reopen can reject mismatched images.
+func Open(opts Options) (*Store, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	s := &Store{opts: opts, shards: make([]shard, opts.Shards)}
+	for i := range s.shards {
+		mem := opts.Mem
+		mem.Size = opts.ShardSize
+		p := pmem.New(mem)
+		th := p.NewThread()
+		ix, err := index.Open(opts.Kind, p, th, index.Options{NodeSize: opts.NodeSize})
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		p.SetRoot(th, stampSlot, stamp(i, opts.Shards))
+		p.SetRoot(th, shapeSlot, shape(opts.Kind, opts.NodeSize))
+		th.Release()
+		s.shards[i] = shard{pool: p, ix: ix}
+	}
+	return s, nil
+}
+
+// Reopen attaches to the pools of a previously opened store — reopened
+// devices or post-crash images, in shard order — verifies every shard's
+// stamp and recorded index configuration, and runs the kind's eager crash
+// recovery on each shard. opts must carry the same Kind/NodeSize the store
+// was created with (a mismatch is rejected, never misread); opts.Shards, if
+// set, must equal len(pools). A zero opts.NodeSize adopts the recorded one.
+func Reopen(pools []*pmem.Pool, opts Options) (*Store, error) {
+	if opts.Shards == 0 {
+		opts.Shards = len(pools)
+	}
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	if len(pools) != opts.Shards {
+		return nil, fmt.Errorf("store: reopen with %d pools, want %d", len(pools), opts.Shards)
+	}
+	s := &Store{opts: opts, shards: make([]shard, len(pools))}
+	for i, p := range pools {
+		th := p.NewThread()
+		if got, want := p.Root(th, stampSlot), stamp(i, len(pools)); got != want {
+			return nil, fmt.Errorf("store: shard %d stamp %#x, want %#x (wrong pool, order, or shard count)", i, got, want)
+		}
+		rec := p.Root(th, shapeSlot)
+		if opts.NodeSize == 0 {
+			opts.NodeSize = int(uint32(rec))
+			s.opts.NodeSize = opts.NodeSize
+		}
+		if want := shape(opts.Kind, opts.NodeSize); rec != want {
+			return nil, fmt.Errorf("store: shard %d was created with a different kind or node size (shape %#x, want %#x for %s/%d)",
+				i, rec, want, opts.Kind, opts.NodeSize)
+		}
+		ix, err := index.OpenExisting(opts.Kind, p, th, index.Options{NodeSize: opts.NodeSize})
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		if err := index.Recover(ix, th); err != nil {
+			return nil, fmt.Errorf("store: shard %d recovery: %w", i, err)
+		}
+		th.Release()
+		s.shards[i] = shard{pool: p, ix: ix}
+	}
+	return s, nil
+}
+
+// mix is the splitmix64 finalizer; it decorrelates shard choice from key
+// structure (sequential keys, packed bitfield keys) so partitions stay
+// balanced.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ShardFor returns the shard a key hashes to. It is deterministic per shard
+// count, so images reopen onto the same partitioning.
+func (s *Store) ShardFor(key uint64) int {
+	return int(mix(key) % uint64(len(s.shards)))
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Kind returns the index kind backing every shard.
+func (s *Store) Kind() index.Kind { return s.opts.Kind }
+
+// Pool returns shard i's pool — the handles a caller snapshots for crash
+// simulation and passes back to Reopen.
+func (s *Store) Pool(i int) *pmem.Pool { return s.shards[i].pool }
+
+// Pools returns every shard pool in shard order.
+func (s *Store) Pools() []*pmem.Pool {
+	out := make([]*pmem.Pool, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.pool
+	}
+	return out
+}
+
+// CheckInvariants verifies structural invariants on every shard (testing
+// aid; full tree walks).
+func (s *Store) CheckInvariants() error {
+	for i, sh := range s.shards {
+		th := sh.pool.NewThread()
+		err := index.CheckInvariants(sh.ix, th)
+		th.Release()
+		if err != nil {
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the released-thread statistics of every shard pool.
+func (s *Store) Stats() pmem.Stats {
+	var total pmem.Stats
+	for _, sh := range s.shards {
+		total.Add(sh.pool.TotalStats())
+	}
+	return total
+}
+
+// Close closes every shard index handle and marks the store closed. The
+// persistent images stay valid; Reopen(st.Pools(), opts) resumes from them.
+// Sessions must not be used after Close.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, sh := range s.shards {
+		if err := sh.ix.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
