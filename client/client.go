@@ -1,0 +1,395 @@
+// Package client is the Go client for a pmkv server (package server): one
+// Conn is one TCP connection speaking the pmkv wire protocol with full
+// pipelining — any number of requests in flight, responses matched back to
+// their Calls by id — plus synchronous wrappers for the common case and a
+// round-robin connection Pool for fan-out.
+//
+// A Conn is safe for concurrent use by any number of goroutines; the
+// pipelining is what turns that concurrency into throughput, since nobody
+// waits for anybody else's round trip.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/wire"
+)
+
+// KV is one key-value pair, aliased from the wire layer.
+type KV = wire.KV
+
+// Errors surfaced by the client. Server-reported failures are *RemoteError.
+var (
+	// ErrConnClosed reports a call issued on (or cut short by) a closed
+	// connection.
+	ErrConnClosed = errors.New("client: connection closed")
+	// ErrStoreClosed reports wire.StatusClosed: the server is up but its
+	// store has been closed (it is draining for shutdown).
+	ErrStoreClosed = errors.New("client: store closed on server")
+)
+
+// RemoteError carries a server-side failure message (wire.StatusErr).
+type RemoteError struct {
+	Op  wire.Op
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("client: server error on %s: %s", e.Op, e.Msg)
+}
+
+// Options configures a Conn.
+type Options struct {
+	// DialTimeout bounds connection establishment. Default 5s.
+	DialTimeout time.Duration
+	// MaxFrame caps an incoming response frame. Default wire.MaxFrame.
+	MaxFrame uint32
+	// SendQueue is the number of requests that may sit between callers
+	// and the socket writer before issuing blocks. Default 256.
+	SendQueue int
+}
+
+func (o *Options) fill() {
+	if o.DialTimeout == 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = wire.MaxFrame
+	}
+	if o.SendQueue <= 0 {
+		o.SendQueue = 256
+	}
+}
+
+// Call is one in-flight request. Wait (or Done + the fields) delivers the
+// outcome: Err is nil on any well-formed server reply, including NotFound —
+// inspect Resp.Status for that.
+type Call struct {
+	Op   wire.Op
+	Resp wire.Response
+	Err  error
+	done chan struct{}
+}
+
+// Done is closed when the call completes.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Wait blocks until the call completes and returns its error.
+func (c *Call) Wait() error {
+	<-c.done
+	return c.Err
+}
+
+// Conn is one pipelined client connection.
+type Conn struct {
+	nc   net.Conn
+	opts Options
+
+	sendCh chan wire.Request
+	stop   chan struct{} // closed by terminate
+
+	mu        sync.Mutex
+	pending   map[uint64]*Call
+	nextID    uint64
+	closing   bool
+	closeDone chan struct{} // closed when the first Close finishes
+	termErr   error
+
+	calls sync.WaitGroup // in-flight Calls
+	loops sync.WaitGroup // reader + writer goroutines
+}
+
+// Dial connects to a pmkv server at addr ("host:port").
+func Dial(addr string, opts Options) (*Conn, error) {
+	opts.fill()
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Conn{
+		nc:        nc,
+		opts:      opts,
+		sendCh:    make(chan wire.Request, opts.SendQueue),
+		stop:      make(chan struct{}),
+		closeDone: make(chan struct{}),
+		pending:   make(map[uint64]*Call),
+	}
+	c.loops.Add(2)
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// start registers a Call and queues its request. It never blocks on the
+// network round trip — only on the bounded send queue.
+func (c *Conn) start(req wire.Request) *Call {
+	call := &Call{Op: req.Op, done: make(chan struct{})}
+	c.mu.Lock()
+	if c.closing || c.termErr != nil {
+		err := c.termErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrConnClosed
+		}
+		call.Err = err
+		close(call.done)
+		return call
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = call
+	c.calls.Add(1)
+	c.mu.Unlock()
+	select {
+	case c.sendCh <- req:
+	case <-c.stop:
+		// terminate ran (or is running): it sweeps the pending map and
+		// fails this call; nothing more to do here.
+	}
+	return call
+}
+
+// writeLoop encodes queued requests into a buffered writer, flushing when
+// the queue momentarily drains.
+func (c *Conn) writeLoop() {
+	defer c.loops.Done()
+	bw := newBufWriter(c.nc)
+	var buf []byte
+	for {
+		select {
+		case req := <-c.sendCh:
+			var err error
+			buf, err = wire.AppendRequest(buf[:0], &req)
+			if err != nil {
+				// An unencodable request (e.g. an oversized batch) is
+				// that call's own failure, not the connection's: fail
+				// it alone and keep the pipeline running.
+				c.failCall(req.ID, err)
+				continue
+			}
+			if _, err = bw.Write(buf); err == nil && len(c.sendCh) == 0 {
+				err = bw.Flush()
+			}
+			if err != nil {
+				c.terminate(fmt.Errorf("client: write: %w", err))
+				return
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// readLoop decodes response frames and completes their Calls.
+func (c *Conn) readLoop() {
+	defer c.loops.Done()
+	br := newBufReader(c.nc)
+	var scratch []byte
+	for {
+		body, err := wire.ReadFrame(br, c.opts.MaxFrame, scratch)
+		if err != nil {
+			c.terminate(fmt.Errorf("client: read: %w", err))
+			return
+		}
+		resp, err := wire.DecodeResponse(body)
+		if err != nil {
+			c.terminate(err)
+			return
+		}
+		scratch = body[:0]
+		c.mu.Lock()
+		call := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if call == nil {
+			// A response nothing waits for: either a duplicate or a
+			// server bug. Ignoring it keeps the stream usable.
+			continue
+		}
+		call.Resp = resp
+		switch resp.Status {
+		case wire.StatusErr:
+			call.Err = &RemoteError{Op: resp.Op, Msg: resp.Msg}
+		case wire.StatusClosed:
+			call.Err = fmt.Errorf("%w: %s", ErrStoreClosed, resp.Msg)
+		}
+		close(call.done)
+		c.calls.Done()
+	}
+}
+
+// failCall completes one pending call with err (no-op if the call already
+// completed or was swept by terminate).
+func (c *Conn) failCall(id uint64, err error) {
+	c.mu.Lock()
+	call := c.pending[id]
+	delete(c.pending, id)
+	c.mu.Unlock()
+	if call == nil {
+		return
+	}
+	call.Err = err
+	close(call.done)
+	c.calls.Done()
+}
+
+// terminate tears the connection down once: it records the terminal error,
+// stops both loops, closes the socket, and fails every pending Call.
+func (c *Conn) terminate(err error) {
+	c.mu.Lock()
+	if c.termErr != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.termErr = err
+	pend := c.pending
+	c.pending = make(map[uint64]*Call)
+	close(c.stop)
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, call := range pend {
+		call.Err = err
+		close(call.done)
+		c.calls.Done()
+	}
+}
+
+// Close drains the connection gracefully: new calls fail immediately,
+// in-flight calls run to completion, then the socket closes. Concurrent
+// and repeated Closes all wait for that same drain. Closing an
+// already-failed connection returns nil (the failure already surfaced on
+// its calls).
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closing {
+		// Another Close owns the teardown; wait for it rather than
+		// aborting the calls it is still draining.
+		c.mu.Unlock()
+		<-c.closeDone
+		return nil
+	}
+	c.closing = true
+	c.mu.Unlock()
+	c.calls.Wait()
+	c.terminate(ErrConnClosed)
+	c.loops.Wait()
+	close(c.closeDone)
+	return nil
+}
+
+// Err returns the connection's terminal error, or nil while it is usable.
+func (c *Conn) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.termErr != nil && !errors.Is(c.termErr, ErrConnClosed) {
+		return c.termErr
+	}
+	return nil
+}
+
+// GetAsync issues a pipelined Get.
+func (c *Conn) GetAsync(key uint64) *Call {
+	return c.start(wire.Request{Op: wire.OpGet, Key: key})
+}
+
+// Get returns the value stored under key on the server.
+func (c *Conn) Get(key uint64) (uint64, bool, error) {
+	call := c.GetAsync(key)
+	if err := call.Wait(); err != nil {
+		return 0, false, err
+	}
+	return call.Resp.Val, call.Resp.Status == wire.StatusOK, nil
+}
+
+// PutAsync issues a pipelined Put.
+func (c *Conn) PutAsync(key, val uint64) *Call {
+	return c.start(wire.Request{Op: wire.OpPut, Key: key, Val: val})
+}
+
+// Put stores val under key on the server. When Put returns nil the write is
+// durable on the server (the store's per-operation persistence contract).
+func (c *Conn) Put(key, val uint64) error {
+	return c.PutAsync(key, val).Wait()
+}
+
+// DeleteAsync issues a pipelined Delete.
+func (c *Conn) DeleteAsync(key uint64) *Call {
+	return c.start(wire.Request{Op: wire.OpDelete, Key: key})
+}
+
+// Delete removes key on the server, reporting whether it was present.
+func (c *Conn) Delete(key uint64) (bool, error) {
+	call := c.DeleteAsync(key)
+	if err := call.Wait(); err != nil {
+		return false, err
+	}
+	return call.Resp.Status == wire.StatusOK, nil
+}
+
+// PutBatchAsync issues one pipelined PutBatch frame. len(pairs) must not
+// exceed wire.MaxPairs; the synchronous PutBatch chunks automatically.
+func (c *Conn) PutBatchAsync(pairs []KV) *Call {
+	return c.start(wire.Request{Op: wire.OpPutBatch, Pairs: pairs})
+}
+
+// PutBatch stores all pairs, chunking across frames when the batch exceeds
+// wire.MaxPairs. Chunks are pipelined, not transactional: each pair is
+// individually atomic on the server, and on error a suffix of the batch may
+// be unapplied.
+func (c *Conn) PutBatch(pairs []KV) error {
+	var calls []*Call
+	for len(pairs) > 0 {
+		n := min(len(pairs), wire.MaxPairs)
+		calls = append(calls, c.PutBatchAsync(pairs[:n]))
+		pairs = pairs[n:]
+	}
+	var first error
+	for _, call := range calls {
+		if err := call.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ScanAsync issues a pipelined Scan for lo <= key <= hi, returning at most
+// max pairs (0 = the server's cap; never more than wire.MaxPairs).
+func (c *Conn) ScanAsync(lo, hi uint64, max int) *Call {
+	m := uint32(0)
+	if max > 0 && max <= wire.MaxPairs {
+		m = uint32(max)
+	}
+	return c.start(wire.Request{Op: wire.OpScan, Lo: lo, Hi: hi, Max: m})
+}
+
+// Scan returns pairs with lo <= key <= hi in ascending key order, truncated
+// to max (or the server's cap when max is 0). A full result set exactly at
+// the cap may be a truncation; page with lo = lastKey+1 to continue.
+func (c *Conn) Scan(lo, hi uint64, max int) ([]KV, error) {
+	call := c.ScanAsync(lo, hi, max)
+	if err := call.Wait(); err != nil {
+		return nil, err
+	}
+	return call.Resp.Pairs, nil
+}
+
+// StatsAsync issues a pipelined Stats request.
+func (c *Conn) StatsAsync() *Call {
+	return c.start(wire.Request{Op: wire.OpStats})
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Conn) Stats() (wire.Stats, error) {
+	call := c.StatsAsync()
+	if err := call.Wait(); err != nil {
+		return wire.Stats{}, err
+	}
+	return call.Resp.Stats, nil
+}

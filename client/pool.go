@@ -1,0 +1,80 @@
+package client
+
+import (
+	"bufio"
+	"io"
+	"sync/atomic"
+
+	"repro/wire"
+)
+
+// ioBufSize sizes the per-connection buffered reader/writer; large enough
+// that a pipelined burst coalesces into few syscalls.
+const ioBufSize = 64 << 10
+
+func newBufReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, ioBufSize) }
+func newBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, ioBufSize) }
+
+// Pool is a fixed set of Conns to one server with round-robin dispatch.
+// With many goroutines sharing a Pool, each connection carries a slice of
+// the pipelined traffic, spreading both client and server per-connection
+// work across cores.
+type Pool struct {
+	conns []*Conn
+	next  atomic.Uint64
+}
+
+// DialPool opens n connections to addr. On any dial failure the already-
+// opened connections are closed and the error returned.
+func DialPool(addr string, n int, opts Options) (*Pool, error) {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{conns: make([]*Conn, n)}
+	for i := range p.conns {
+		c, err := Dial(addr, opts)
+		if err != nil {
+			for _, open := range p.conns[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		p.conns[i] = c
+	}
+	return p, nil
+}
+
+// Conn returns the next connection round-robin. Callers needing request
+// ordering should pin one Conn rather than going through the Pool.
+func (p *Pool) Conn() *Conn {
+	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+}
+
+// Size returns the number of connections.
+func (p *Pool) Size() int { return len(p.conns) }
+
+// Close drains and closes every connection.
+func (p *Pool) Close() error {
+	for _, c := range p.conns {
+		c.Close()
+	}
+	return nil
+}
+
+// Get round-robins a Get.
+func (p *Pool) Get(key uint64) (uint64, bool, error) { return p.Conn().Get(key) }
+
+// Put round-robins a Put.
+func (p *Pool) Put(key, val uint64) error { return p.Conn().Put(key, val) }
+
+// Delete round-robins a Delete.
+func (p *Pool) Delete(key uint64) (bool, error) { return p.Conn().Delete(key) }
+
+// PutBatch round-robins a chunked PutBatch.
+func (p *Pool) PutBatch(pairs []KV) error { return p.Conn().PutBatch(pairs) }
+
+// Scan round-robins a Scan.
+func (p *Pool) Scan(lo, hi uint64, max int) ([]KV, error) { return p.Conn().Scan(lo, hi, max) }
+
+// Stats round-robins a Stats fetch.
+func (p *Pool) Stats() (wire.Stats, error) { return p.Conn().Stats() }

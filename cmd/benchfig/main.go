@@ -4,7 +4,7 @@
 //
 //	benchfig [-n keys] [-threads 1,2,4,8] [-tx 2000] [-warehouses 1] <figure>...
 //
-// Figures: fig3 fig4 fig5a fig5b fig5c fig5d fig6 fig7a fig7b fig7c flushes shards all
+// Figures: fig3 fig4 fig5a fig5b fig5c fig5d fig6 fig7a fig7b fig7c flushes shards server all
 //
 // Default scales are reduced from the paper's 10M/50M keys so every figure
 // regenerates in seconds to minutes; raise -n (and -tx) to approach
@@ -44,11 +44,11 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchfig [flags] fig3|fig4|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|fig7c|flushes|shards|all")
+		fmt.Fprintln(os.Stderr, "usage: benchfig [flags] fig3|fig4|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|fig7c|flushes|shards|server|all")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "fig7a", "fig7b", "fig7c", "flushes", "shards"}
+		args = []string{"fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "fig7a", "fig7b", "fig7c", "flushes", "shards", "server"}
 	}
 
 	for _, fig := range args {
@@ -83,6 +83,11 @@ func main() {
 				Goroutines:  8,
 				Mem:         pmem.Config{WriteLatency: 300 * time.Nanosecond},
 			})
+		case "server":
+			// DRAM latency: the remote figure isolates what pipelining
+			// buys against round trips; PM-latency sensitivity is the
+			// shards figure's axis.
+			tbl = bench.FigServer(bench.ServerConfig{Ops: *n})
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 			os.Exit(2)

@@ -1,0 +1,131 @@
+// Command pmkv-loadgen is a closed-loop load generator for pmkv-server: G
+// goroutines issue synchronous requests over C pooled connections, so C <
+// G pipelines requests on every connection while each goroutine still
+// measures true request latency. It reports throughput and latency
+// percentiles.
+//
+// Usage:
+//
+//	pmkv-loadgen [-addr localhost:7841] [-ops 500000] [-clients 32]
+//	             [-conns 4] [-read 0.5] [-keys 1000000] [-preload 0]
+//
+// -clients 1 -conns 1 is the unpipelined baseline (one request per round
+// trip); raising -clients while holding -conns shows what pipelining buys.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7841", "server address")
+	ops := flag.Int("ops", 500000, "total operations")
+	clients := flag.Int("clients", 32, "closed-loop worker goroutines")
+	conns := flag.Int("conns", 4, "pooled TCP connections")
+	readFrac := flag.Float64("read", 0.5, "fraction of ops that are Gets")
+	keys := flag.Uint64("keys", 1000000, "key space size")
+	preload := flag.Int("preload", 0, "keys to PutBatch before timing (0 = keyspace/4)")
+	flag.Parse()
+	if *clients < 1 || *conns < 1 || *ops < 1 || *keys < 1 || *readFrac < 0 || *readFrac > 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pool, err := client.DialPool(*addr, *conns, client.Options{})
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	defer pool.Close()
+
+	// Preload so Gets hit often even at low op counts.
+	nPre := *preload
+	if nPre == 0 {
+		nPre = int(*keys / 4)
+	}
+	if nPre > 0 {
+		rng := rand.New(rand.NewSource(1))
+		batch := make([]client.KV, nPre)
+		for i := range batch {
+			k := rng.Uint64()%*keys + 1
+			batch[i] = client.KV{Key: k, Val: k ^ 0xdead}
+		}
+		t0 := time.Now()
+		if err := pool.PutBatch(batch); err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		fmt.Printf("preloaded %d keys in %v\n", nPre, time.Since(t0).Round(time.Millisecond))
+	}
+
+	perG := *ops / *clients
+	if perG == 0 {
+		perG = 1 // fewer ops than clients: still do one op each
+	}
+	lats := make([][]time.Duration, *clients)
+	var failed atomic.Uint64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < *clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 100))
+			c := pool.Conn() // pin a connection; many goroutines share each
+			my := make([]time.Duration, 0, perG)
+			for i := 0; i < perG; i++ {
+				k := rng.Uint64()%*keys + 1
+				start := time.Now()
+				var err error
+				if rng.Float64() < *readFrac {
+					_, _, err = c.Get(k)
+				} else {
+					err = c.Put(k, k^0xbeef)
+				}
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				my = append(my, time.Since(start))
+			}
+			lats[g] = my
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		log.Fatalf("no operation succeeded (%d failed)", failed.Load())
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	tput := float64(len(all)) / elapsed.Seconds()
+	fmt.Printf("%d ops in %v: %.0f ops/s (%d failed)\n",
+		len(all), elapsed.Round(time.Millisecond), tput, failed.Load())
+	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  p99.9 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(0.999).Round(time.Microsecond),
+		all[len(all)-1].Round(time.Microsecond))
+	fmt.Printf("config: %d clients over %d conns, %.0f%% reads, keyspace %d\n",
+		*clients, *conns, *readFrac*100, *keys)
+
+	if stats, err := pool.Stats(); err == nil {
+		fmt.Printf("server: %d ops (%d errors), %d conns live, %d B in, %d B out\n",
+			stats.Ops, stats.Errors, stats.ConnsLive, stats.BytesIn, stats.BytesOut)
+	}
+}

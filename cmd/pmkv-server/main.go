@@ -1,0 +1,91 @@
+// Command pmkv-server serves a sharded FAST+FAIR store over TCP using the
+// pmkv wire protocol.
+//
+// Usage:
+//
+//	pmkv-server [-addr :7841] [-shards 8] [-shard-size-mb 256]
+//	            [-workers 2] [-read-latency 0] [-write-latency 0]
+//
+// The store lives in simulated persistent memory inside the process; the
+// latency flags emulate a PM device (e.g. -write-latency 300ns). SIGINT or
+// SIGTERM triggers a graceful shutdown: the listeners close, in-flight
+// requests drain and answer, and only then does the store close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/server"
+	"repro/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":7841", "listen address")
+	shards := flag.Int("shards", 8, "store shard count")
+	shardMB := flag.Int64("shard-size-mb", 256, "arena size per shard, MiB")
+	workers := flag.Int("workers", 2, "request workers (sessions) per connection")
+	readLat := flag.Duration("read-latency", 0, "simulated PM read latency (e.g. 150ns)")
+	writeLat := flag.Duration("write-latency", 0, "simulated PM write latency (e.g. 300ns)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	flag.Parse()
+
+	st, err := store.Open(store.Options{
+		Shards:    *shards,
+		ShardSize: *shardMB << 20,
+		Latency: store.LatencyOptions{
+			Read:  *readLat,
+			Write: *writeLat,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := server.Options{Workers: *workers}
+	if !*quiet {
+		opts.Logf = log.Printf
+	}
+	srv := server.New(st, opts)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("pmkv-server: serving %d shards (%d MiB each) on %s, %d workers/conn",
+		*shards, *shardMB, ln.Addr(), *workers)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("pmkv-server: %v: draining (budget %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			log.Printf("pmkv-server: drain incomplete: %v", err)
+		}
+	case err := <-done:
+		if err != nil {
+			log.Printf("pmkv-server: serve: %v", err)
+		}
+	}
+
+	stats := srv.Stats()
+	if err := st.Close(); err != nil {
+		log.Printf("pmkv-server: store close: %v", err)
+	}
+	fmt.Printf("served %d ops (%d errors), %d conns total, %d B in, %d B out\n",
+		stats.Ops, stats.Errors, stats.ConnsTotal, stats.BytesIn, stats.BytesOut)
+}

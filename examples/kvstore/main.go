@@ -113,16 +113,16 @@ func main() {
 	}
 	css := crashed.NewSession()
 	for k, v := range committed {
-		got, ok := css.Get(k)
-		if !ok || got != v {
-			log.Fatalf("LOST committed key %d: got (%d,%v)", k, got, ok)
+		got, ok, err := css.Get(k)
+		if err != nil || !ok || got != v {
+			log.Fatalf("LOST committed key %d: got (%d,%v,%v)", k, got, ok, err)
 		}
 	}
 	fmt.Printf("post-reopen: all %d committed keys intact on all shards\n", len(committed))
 
 	survived := 0
 	for _, k := range tail {
-		if v, ok := css.Get(k); ok {
+		if v, ok, _ := css.Get(k); ok {
 			if v != k*3 {
 				log.Fatalf("TORN write at key %d: %d", k, v)
 			}
@@ -141,7 +141,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("post-recovery: invariants hold, %d keys total, store fully writable\n", css.Len())
+	total, _ := css.Len()
+	fmt.Printf("post-recovery: invariants hold, %d keys total, store fully writable\n", total)
 	css.Close()
 	crashed.Close()
 }

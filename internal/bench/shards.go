@@ -90,7 +90,7 @@ func shardRun(shards int, cfg ShardConfig, mixed bool) float64 {
 					// Re-read this session's own latest key; it
 					// must be present (completed Puts are durable
 					// and visible).
-					if _, ok := ss.Get(last); !ok {
+					if _, ok, err := ss.Get(last); err != nil || !ok {
 						panic("store: just-written key missing")
 					}
 					continue

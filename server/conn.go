@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/store"
+	"repro/wire"
+)
+
+// reqQueue/respQueue bound the per-connection pipeline depth. Deep enough
+// to keep workers busy between flushes, shallow enough that a slow client
+// exerts backpressure on its own reads rather than ballooning memory.
+const (
+	reqQueue  = 256
+	respQueue = 256
+	ioBufSize = 64 << 10
+)
+
+// conn is one accepted connection's pipeline. The handler goroutine itself
+// runs the frame reader; workers and the response writer are spawned from
+// it and joined before the handler returns.
+type conn struct {
+	srv      *Server
+	nc       net.Conn
+	draining chan struct{} // closed by beginDrain
+	drainSet sync.Once
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{srv: s, nc: nc, draining: make(chan struct{})}
+}
+
+// beginDrain stops the reader: it marks the connection draining and kicks
+// the blocked Read with an immediate deadline. Requests already queued keep
+// flowing to the workers and their responses still go out (only the read
+// side is deadlined).
+func (c *conn) beginDrain() {
+	c.drainSet.Do(func() {
+		close(c.draining)
+		c.nc.SetReadDeadline(time.Now())
+	})
+}
+
+func (c *conn) isDraining() bool {
+	select {
+	case <-c.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// handle runs the connection to completion: reader (this goroutine) →
+// bounded request queue → workers (one Session each) → bounded response
+// queue → writer. Teardown order mirrors the data flow so every accepted
+// request gets its response written before the socket closes.
+func (c *conn) handle() {
+	s := c.srv
+	defer s.wg.Done()
+	defer s.dropConn(c)
+	s.connsTotal.Add(1)
+	s.connsLive.Add(1)
+	defer s.connsLive.Add(-1)
+
+	reqs := make(chan wire.Request, reqQueue)
+	resps := make(chan wire.Response, respQueue)
+
+	var workers sync.WaitGroup
+	for i := 0; i < s.opts.Workers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			ss := s.st.NewSession()
+			defer ss.Close()
+			for req := range reqs {
+				resps <- c.serve(ss, &req)
+			}
+		}()
+	}
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		c.writeLoop(resps)
+	}()
+
+	c.readLoop(reqs, resps)
+
+	close(reqs)
+	workers.Wait()
+	close(resps)
+	<-writerDone
+	c.nc.Close()
+}
+
+// readLoop decodes frames into the request queue until EOF, error, or
+// drain. A malformed frame gets a best-effort error response (when the id
+// survived decoding) and ends the connection: framing is lost, nothing
+// after it can be trusted.
+func (c *conn) readLoop(reqs chan<- wire.Request, resps chan<- wire.Response) {
+	s := c.srv
+	br := bufio.NewReaderSize(c.nc, ioBufSize)
+	var scratch []byte
+	for {
+		body, err := wire.ReadFrame(br, s.opts.MaxFrame, scratch)
+		if err != nil {
+			if !c.isDraining() && !errors.Is(err, net.ErrClosed) {
+				s.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		s.bytesIn.Add(uint64(4 + len(body)))
+		req, err := wire.DecodeRequest(body)
+		if err != nil {
+			s.logf("server: %s: %v", c.nc.RemoteAddr(), err)
+			s.ops.Add(1)
+			s.errs.Add(1)
+			resp := wire.Response{Status: wire.StatusErr, Msg: err.Error()}
+			if len(body) >= 8 {
+				resp.ID = binary.BigEndian.Uint64(body)
+			}
+			resps <- resp
+			return
+		}
+		scratch = body[:0]
+		reqs <- req
+	}
+}
+
+// writeLoop encodes responses into a buffered writer, flushing whenever the
+// queue momentarily drains — the standard pipelining trade: batched
+// syscalls under load, prompt responses when idle. After a write error it
+// keeps draining the queue (dropping responses) so workers never block on a
+// dead connection.
+func (c *conn) writeLoop(resps <-chan wire.Response) {
+	s := c.srv
+	bw := bufio.NewWriterSize(c.nc, ioBufSize)
+	var buf []byte
+	broken := false
+	for resp := range resps {
+		if broken {
+			continue
+		}
+		var err error
+		buf, err = wire.AppendResponse(buf[:0], &resp)
+		if err != nil {
+			// Encode failures are server bugs (e.g. an over-long
+			// scan); turn them into a wire error for the client.
+			buf, _ = wire.AppendResponse(buf[:0], &wire.Response{
+				ID: resp.ID, Op: resp.Op,
+				Status: wire.StatusErr, Msg: err.Error(),
+			})
+		}
+		if _, err := bw.Write(buf); err != nil {
+			broken = true
+			continue
+		}
+		s.bytesOut.Add(uint64(len(buf)))
+		if len(resps) == 0 {
+			if err := bw.Flush(); err != nil {
+				broken = true
+			}
+		}
+	}
+	if !broken {
+		bw.Flush()
+	}
+}
+
+// serve executes one request against the worker's session and shapes the
+// response. Store-level failures become StatusErr; a closed store (the
+// server lost a race with Store.Close) becomes StatusClosed.
+func (c *conn) serve(ss *store.Session, req *wire.Request) wire.Response {
+	s := c.srv
+	s.ops.Add(1)
+	resp := wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
+	fail := func(err error) wire.Response {
+		s.errs.Add(1)
+		resp.Status = wire.StatusErr
+		if errors.Is(err, store.ErrClosed) {
+			resp.Status = wire.StatusClosed
+		}
+		resp.Msg = err.Error()
+		return resp
+	}
+	switch req.Op {
+	case wire.OpGet:
+		v, ok, err := ss.Get(req.Key)
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			return resp
+		}
+		resp.Val = v
+	case wire.OpPut:
+		if err := ss.Put(req.Key, req.Val); err != nil {
+			return fail(err)
+		}
+	case wire.OpDelete:
+		ok, err := ss.Delete(req.Key)
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			resp.Status = wire.StatusNotFound
+		}
+	case wire.OpPutBatch:
+		pairs := make([]store.KV, len(req.Pairs))
+		for i, kv := range req.Pairs {
+			pairs[i] = store.KV{Key: kv.Key, Val: kv.Val}
+		}
+		if err := ss.PutBatch(pairs); err != nil {
+			return fail(err)
+		}
+	case wire.OpScan:
+		max := s.opts.MaxScan
+		if req.Max != 0 && int(req.Max) < max {
+			max = int(req.Max)
+		}
+		pairs := make([]wire.KV, 0, min(max, 256))
+		err := ss.Scan(req.Lo, req.Hi, func(k, v uint64) bool {
+			pairs = append(pairs, wire.KV{Key: k, Val: v})
+			return len(pairs) < max
+		})
+		if err != nil {
+			return fail(err)
+		}
+		resp.Pairs = pairs
+	case wire.OpStats:
+		st := s.Stats()
+		resp.Stats = wire.Stats{
+			Ops:        st.Ops,
+			Errors:     st.Errors,
+			BytesIn:    st.BytesIn,
+			BytesOut:   st.BytesOut,
+			ConnsLive:  st.ConnsLive,
+			ConnsTotal: st.ConnsTotal,
+		}
+	default:
+		return fail(errors.New("server: unhandled opcode " + req.Op.String()))
+	}
+	return resp
+}

@@ -1,0 +1,270 @@
+// Package server serves a store.Store over TCP using the pmkv wire
+// protocol (package wire): length-prefixed binary frames with client-chosen
+// request ids, so one connection carries many in-flight requests and
+// responses stream back as they complete.
+//
+// Each connection runs a small pipeline: a reader goroutine decodes frames
+// into a bounded queue, Options.Workers worker goroutines — each owning one
+// store.Session, the store's per-goroutine handle — execute requests, and a
+// writer goroutine streams responses out, flushing whenever the outgoing
+// queue drains. With more than one worker, responses may leave in a
+// different order than requests arrived; the echoed id is the contract.
+//
+// Shutdown is graceful by default: Shutdown stops the listeners, lets every
+// queued request finish, flushes the responses, and only then returns — so
+// the caller can Close the store knowing no request is in flight. A session
+// that races the store's Close anyway fails with store.ErrClosed, which the
+// server reports as wire.StatusClosed rather than tearing the connection.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/store"
+	"repro/wire"
+)
+
+// ErrServerClosed is returned by Serve and ListenAndServe after Shutdown or
+// Close, mirroring net/http's contract.
+var ErrServerClosed = errors.New("server: closed")
+
+// Options configures a Server. The zero value is ready for use.
+type Options struct {
+	// Workers is the number of request-processing goroutines per
+	// connection, each owning one store.Session. One worker keeps
+	// per-connection requests strictly ordered; more workers let one
+	// connection's requests overlap (responses are matched by id).
+	// Default 1.
+	Workers int
+	// MaxFrame caps an incoming frame body in bytes. Default
+	// wire.MaxFrame.
+	MaxFrame uint32
+	// MaxScan caps the pairs returned by one Scan request, bounding the
+	// response frame. Requests asking for more are truncated to this.
+	// Default wire.MaxPairs.
+	MaxScan int
+	// Logf, when set, receives connection-level diagnostics (accept and
+	// protocol failures). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = wire.MaxFrame
+	}
+	if o.MaxScan <= 0 || o.MaxScan > wire.MaxPairs {
+		o.MaxScan = wire.MaxPairs
+	}
+}
+
+// Stats is a snapshot of the server's counters. Ops counts requests
+// answered; Errors the subset answered with StatusErr or StatusClosed;
+// bytes include frame headers.
+type Stats struct {
+	Ops        uint64
+	Errors     uint64
+	BytesIn    uint64
+	BytesOut   uint64
+	ConnsLive  uint64
+	ConnsTotal uint64
+}
+
+// Server serves one store over any number of listeners.
+type Server struct {
+	st   *store.Store
+	opts Options
+
+	ops, errs         atomic.Uint64
+	bytesIn, bytesOut atomic.Uint64
+	connsTotal        atomic.Uint64
+	connsLive         atomic.Int64
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*conn]struct{}
+	shutdown  bool
+
+	wg sync.WaitGroup // one per connection handler
+}
+
+// New returns a server over st. The server does not own the store: close the
+// store after Shutdown returns (requests racing a premature store Close are
+// answered with wire.StatusClosed).
+func New(st *store.Store, opts Options) *Server {
+	opts.fill()
+	return &Server{
+		st:        st,
+		opts:      opts,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*conn]struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Stats snapshots the serve-side counters.
+func (s *Server) Stats() Stats {
+	live := s.connsLive.Load()
+	if live < 0 {
+		live = 0
+	}
+	return Stats{
+		Ops:        s.ops.Load(),
+		Errors:     s.errs.Load(),
+		BytesIn:    s.bytesIn.Load(),
+		BytesOut:   s.bytesOut.Load(),
+		ConnsLive:  uint64(live),
+		ConnsTotal: s.connsTotal.Load(),
+	}
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown or
+// Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown or Close, then returns
+// ErrServerClosed. Serve may be called on several listeners concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+
+	var backoff time.Duration
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return ErrServerClosed
+			}
+			// Transient accept failures (fd exhaustion under heavy
+			// client load) must not kill the accept loop: back off and
+			// retry, the way net/http does.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() { //nolint:staticcheck // net/http's accept-retry idiom
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				s.logf("server: accept: %v; retrying in %v", err, backoff)
+				time.Sleep(backoff)
+				continue
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		backoff = 0
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.handle()
+	}
+}
+
+// Shutdown gracefully stops the server: it closes the listeners, stops
+// reading new requests on every connection, waits for already-received
+// requests to finish and their responses to flush, then closes the
+// connections. If ctx expires first the remaining connections are aborted
+// and ctx.Err() is returned. After Shutdown it is safe to Close the store.
+func (s *Server) Shutdown(ctx context.Context) error {
+	conns := s.stopAccepting()
+	for _, c := range conns {
+		c.beginDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abortConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close aborts the server: listeners and connections are torn down without
+// waiting for in-flight requests' responses to reach their clients.
+func (s *Server) Close() error {
+	s.stopAccepting()
+	s.abortConns()
+	s.wg.Wait()
+	return nil
+}
+
+// stopAccepting marks the server down, closes every listener, and returns a
+// snapshot of the live connections.
+func (s *Server) stopAccepting() []*conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shutdown = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	return conns
+}
+
+func (s *Server) abortConns() {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.nc.Close()
+	}
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}

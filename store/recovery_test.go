@@ -79,14 +79,17 @@ func TestCrashOneShardMidInsert(t *testing.T) {
 		rs := re.NewSession()
 
 		for k, v := range committed {
-			got, ok := rs.Get(k)
-			if !ok || got != v {
-				t.Fatalf("trial %d: lost committed key %d: (%d,%v)", trial, k, got, ok)
+			got, ok, err := rs.Get(k)
+			if err != nil || !ok || got != v {
+				t.Fatalf("trial %d: lost committed key %d: (%d,%v,%v)", trial, k, got, ok, err)
 			}
 		}
 		survived, lost := 0, 0
 		for k, v := range window {
-			got, ok := rs.Get(k)
+			got, ok, err := rs.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
 			switch {
 			case ok && got == v:
 				survived++

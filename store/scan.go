@@ -11,11 +11,17 @@ import (
 // each shard streams its range on its own goroutine (using that shard's
 // session thread) and the caller's goroutine merges the streams with a heap.
 // Per shard the scan has the paper's read-uncommitted semantics under
-// concurrent writers; there is no cross-shard snapshot.
-func (ss *Session) Scan(lo, hi uint64, fn func(key, val uint64) bool) {
+// concurrent writers; there is no cross-shard snapshot. On a closed store it
+// returns ErrClosed without visiting anything; the store cannot close mid-
+// scan (the whole merge holds one in-flight reference).
+func (ss *Session) Scan(lo, hi uint64, fn func(key, val uint64) bool) error {
 	if hi < lo {
-		return
+		return nil
 	}
+	if !ss.s.acquire() {
+		return ErrClosed
+	}
+	defer ss.s.release()
 	n := len(ss.ths)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
@@ -52,7 +58,7 @@ func (ss *Session) Scan(lo, hi uint64, fn func(key, val uint64) bool) {
 	for h.Len() > 0 {
 		c := h[0]
 		if !fn(c.cur.Key, c.cur.Val) {
-			return
+			return nil
 		}
 		if c.advance() {
 			heap.Fix(&h, 0)
@@ -60,6 +66,7 @@ func (ss *Session) Scan(lo, hi uint64, fn func(key, val uint64) bool) {
 			heap.Pop(&h)
 		}
 	}
+	return nil
 }
 
 // scanBuf is the per-shard stream buffer; deep enough to keep producers

@@ -8,19 +8,19 @@ import "repro/internal/pmem"
 // latency statistics back into the shard pools.
 //
 // Any number of Sessions may operate concurrently; the underlying FAST+FAIR
-// shards give lock-free reads and per-node writer latches.
+// shards give lock-free reads and per-node writer latches. A Session may
+// outlive its Store: every operation on a closed store fails with ErrClosed
+// instead of touching released shard state.
 type Session struct {
 	s   *Store
 	ths []*pmem.Thread
 }
 
-// NewSession returns a fresh Session bound to the calling goroutine. It
-// panics on a closed store (a lifecycle misuse, like reusing a closed
-// sync primitive).
+// NewSession returns a fresh Session bound to the calling goroutine. It may
+// be called even on a closed store — the resulting session then fails every
+// operation with ErrClosed — so connection handlers racing a shutdown have
+// no panic window.
 func (s *Store) NewSession() *Session {
-	if s.closed {
-		panic("store: NewSession on closed store")
-	}
 	ths := make([]*pmem.Thread, len(s.shards))
 	for i, sh := range s.shards {
 		ths[i] = sh.pool.NewThread()
@@ -43,34 +43,55 @@ type KV struct {
 }
 
 // Put stores val under key, replacing any existing value. Completed Puts
-// are persistent; an in-flight Put is atomic under any crash.
+// are persistent; an in-flight Put is atomic under any crash. On a closed
+// store it returns ErrClosed.
 func (ss *Session) Put(key, val uint64) error {
+	if !ss.s.acquire() {
+		return ErrClosed
+	}
+	defer ss.s.release()
 	i := ss.s.ShardFor(key)
 	return ss.s.shards[i].ix.Insert(ss.ths[i], key, val)
 }
 
-// Get returns the value stored under key.
-func (ss *Session) Get(key uint64) (uint64, bool) {
+// Get returns the value stored under key. On a closed store it returns
+// ErrClosed.
+func (ss *Session) Get(key uint64) (uint64, bool, error) {
+	if !ss.s.acquire() {
+		return 0, false, ErrClosed
+	}
+	defer ss.s.release()
 	i := ss.s.ShardFor(key)
-	return ss.s.shards[i].ix.Get(ss.ths[i], key)
+	v, ok := ss.s.shards[i].ix.Get(ss.ths[i], key)
+	return v, ok, nil
 }
 
-// Delete removes key, reporting whether it was present.
-func (ss *Session) Delete(key uint64) bool {
+// Delete removes key, reporting whether it was present. On a closed store it
+// returns ErrClosed.
+func (ss *Session) Delete(key uint64) (bool, error) {
+	if !ss.s.acquire() {
+		return false, ErrClosed
+	}
+	defer ss.s.release()
 	i := ss.s.ShardFor(key)
-	return ss.s.shards[i].ix.Delete(ss.ths[i], key)
+	return ss.s.shards[i].ix.Delete(ss.ths[i], key), nil
 }
 
 // PutBatch groups the pairs by shard and inserts each group on its own
 // goroutine, so a bulk load drives every shard in parallel from one call.
 // Pairs within a shard apply in slice order (later duplicates win); each
 // pair is individually atomic, there is no cross-pair transaction. The
-// first error aborts that shard's remaining pairs and is returned.
+// first error aborts that shard's remaining pairs and is returned. On a
+// closed store it returns ErrClosed without applying any pair.
 func (ss *Session) PutBatch(pairs []KV) error {
-	n := len(ss.ths)
 	if len(pairs) == 0 {
 		return nil
 	}
+	if !ss.s.acquire() {
+		return ErrClosed
+	}
+	defer ss.s.release()
+	n := len(ss.ths)
 	groups := make([][]KV, n)
 	for _, kv := range pairs {
 		i := ss.s.ShardFor(kv.Key)
@@ -103,11 +124,16 @@ func (ss *Session) PutBatch(pairs []KV) error {
 	return first
 }
 
-// Len counts the keys across all shards (full scans; not a hot path).
-func (ss *Session) Len() int {
+// Len counts the keys across all shards (full scans; not a hot path). On a
+// closed store it returns ErrClosed.
+func (ss *Session) Len() (int, error) {
+	if !ss.s.acquire() {
+		return 0, ErrClosed
+	}
+	defer ss.s.release()
 	total := 0
 	for i, sh := range ss.s.shards {
 		total += sh.ix.Len(ss.ths[i])
 	}
-	return total
+	return total, nil
 }

@@ -17,11 +17,20 @@
 package store
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"repro/index"
 	"repro/internal/pmem"
 )
+
+// ErrClosed reports an operation on a closed Store. Sessions outliving their
+// store fail every operation with it instead of touching released shard
+// state — the contract the network server's graceful shutdown leans on.
+var ErrClosed = errors.New("store: closed")
 
 // Options configures a Store. The zero value gives 4 FAST+FAIR shards of
 // 256 MiB each at DRAM latency.
@@ -33,11 +42,27 @@ type Options struct {
 	// Mem carries the latency/model configuration applied to every shard
 	// pool. Mem.Size is ignored; ShardSize wins.
 	Mem pmem.Config
+	// Latency tunes the simulated PM latencies with plain fields, so
+	// callers outside this module can shape the device without naming
+	// internal/pmem types. Non-zero fields override the same knobs in Mem.
+	Latency LatencyOptions
 	// Kind selects the index structure per shard. Default index.FastFair.
 	// Reopen requires a kind whose driver can re-attach pool images.
 	Kind index.Kind
 	// NodeSize overrides the per-shard node size.
 	NodeSize int
+}
+
+// LatencyOptions is the external-facing slice of pmem.Config: the emulated
+// device latencies. The zero value leaves the Mem configuration untouched
+// (DRAM speed by default).
+type LatencyOptions struct {
+	// Read is the PM read stall charged per serial cache-line access.
+	Read time.Duration
+	// Write is the PM write stall charged per cache line flushed.
+	Write time.Duration
+	// Barrier is the store-fence cost on non-TSO memory models.
+	Barrier time.Duration
 }
 
 func (o *Options) fill() error {
@@ -49,6 +74,15 @@ func (o *Options) fill() error {
 	}
 	if o.ShardSize == 0 {
 		o.ShardSize = 256 << 20
+	}
+	if o.Latency.Read != 0 {
+		o.Mem.ReadLatency = o.Latency.Read
+	}
+	if o.Latency.Write != 0 {
+		o.Mem.WriteLatency = o.Latency.Write
+	}
+	if o.Latency.Barrier != 0 {
+		o.Mem.BarrierLatency = o.Latency.Barrier
 	}
 	if o.Kind == "" {
 		o.Kind = index.FastFair
@@ -93,7 +127,13 @@ func shape(kind index.Kind, nodeSize int) int64 {
 type Store struct {
 	opts   Options
 	shards []shard
-	closed bool
+
+	// closed+inflight form the close gate: every Session operation holds
+	// an inflight reference for its duration, and Close flips closed
+	// before waiting the count down to zero, so no operation can observe
+	// shard state released by Close (see Session.acquire).
+	closed   atomic.Bool
+	inflight atomic.Int64
 }
 
 type shard struct {
@@ -206,9 +246,32 @@ func (s *Store) Pools() []*pmem.Pool {
 	return out
 }
 
+// acquire takes an inflight reference, failing once the store is closed.
+// The double check brackets the counter increment: if Close's closed flip
+// lands between the first check and the Add, the second check still catches
+// it before the caller touches any shard state, and the reference is
+// returned so Close's drain is never held up by a doomed operation.
+func (s *Store) acquire() bool {
+	if s.closed.Load() {
+		return false
+	}
+	s.inflight.Add(1)
+	if s.closed.Load() {
+		s.inflight.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (s *Store) release() { s.inflight.Add(-1) }
+
 // CheckInvariants verifies structural invariants on every shard (testing
 // aid; full tree walks).
 func (s *Store) CheckInvariants() error {
+	if !s.acquire() {
+		return ErrClosed
+	}
+	defer s.release()
 	for i, sh := range s.shards {
 		th := sh.pool.NewThread()
 		err := index.CheckInvariants(sh.ix, th)
@@ -229,14 +292,24 @@ func (s *Store) Stats() pmem.Stats {
 	return total
 }
 
-// Close closes every shard index handle and marks the store closed. The
-// persistent images stay valid; Reopen(st.Pools(), opts) resumes from them.
-// Sessions must not be used after Close.
+// Close marks the store closed, drains in-flight operations, and closes
+// every shard index handle. The persistent images stay valid;
+// Reopen(st.Pools(), opts) resumes from them. Sessions may outlive Close:
+// their operations fail with ErrClosed instead of racing the teardown.
 func (s *Store) Close() error {
-	if s.closed {
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
+	// Most operations are short, so yield first; but Len and Scan hold
+	// their reference across full multi-shard walks, so back off to
+	// sleeping rather than burning a core until they finish.
+	for spins := 0; s.inflight.Load() != 0; spins++ {
+		if spins < 128 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
 	var first error
 	for _, sh := range s.shards {
 		if err := sh.ix.Close(); err != nil && first == nil {

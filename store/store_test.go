@@ -35,28 +35,28 @@ func TestBasicOps(t *testing.T) {
 		}
 	}
 	for _, k := range keys {
-		v, ok := ss.Get(k)
-		if !ok || v != k^0xabcdef {
-			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		v, ok, err := ss.Get(k)
+		if err != nil || !ok || v != k^0xabcdef {
+			t.Fatalf("Get(%d) = (%d,%v,%v)", k, v, ok, err)
 		}
 	}
 	// Zero values are legal (the store boxes values; no InlineValues).
 	if err := ss.Put(keys[0], 0); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := ss.Get(keys[0]); !ok || v != 0 {
-		t.Fatalf("zero value lost: (%d,%v)", v, ok)
+	if v, ok, err := ss.Get(keys[0]); err != nil || !ok || v != 0 {
+		t.Fatalf("zero value lost: (%d,%v,%v)", v, ok, err)
 	}
-	if n := ss.Len(); n != len(keys) {
-		t.Fatalf("Len = %d, want %d", n, len(keys))
+	if n, err := ss.Len(); err != nil || n != len(keys) {
+		t.Fatalf("Len = %d (%v), want %d", n, err, len(keys))
 	}
-	if !ss.Delete(keys[1]) {
-		t.Fatal("delete failed")
+	if ok, err := ss.Delete(keys[1]); err != nil || !ok {
+		t.Fatalf("delete failed: (%v,%v)", ok, err)
 	}
-	if _, ok := ss.Get(keys[1]); ok {
+	if _, ok, _ := ss.Get(keys[1]); ok {
 		t.Fatal("deleted key still present")
 	}
-	if ss.Delete(keys[1]) {
+	if ok, _ := ss.Delete(keys[1]); ok {
 		t.Fatal("double delete reported true")
 	}
 }
@@ -93,12 +93,12 @@ func TestPutBatch(t *testing.T) {
 	if err := ss.PutBatch(batch); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok := ss.Get(batch[0].Key); !ok || v != 42 {
-		t.Fatalf("duplicate override: (%d,%v), want 42", v, ok)
+	if v, ok, err := ss.Get(batch[0].Key); err != nil || !ok || v != 42 {
+		t.Fatalf("duplicate override: (%d,%v,%v), want 42", v, ok, err)
 	}
 	for _, kv := range batch[1 : len(batch)-1] {
-		if v, ok := ss.Get(kv.Key); !ok || v != kv.Val {
-			t.Fatalf("batch key %d = (%d,%v), want %d", kv.Key, v, ok, kv.Val)
+		if v, ok, err := ss.Get(kv.Key); err != nil || !ok || v != kv.Val {
+			t.Fatalf("batch key %d = (%d,%v,%v), want %d", kv.Key, v, ok, err, kv.Val)
 		}
 	}
 	if err := ss.PutBatch(nil); err != nil {
@@ -182,8 +182,8 @@ func TestConcurrentSessions(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				if v, ok := ss.Get(k); !ok || v != k^5 {
-					t.Errorf("Get(%d) = (%d,%v)", k, v, ok)
+				if v, ok, err := ss.Get(k); err != nil || !ok || v != k^5 {
+					t.Errorf("Get(%d) = (%d,%v,%v)", k, v, ok, err)
 					return
 				}
 			}
@@ -192,8 +192,8 @@ func TestConcurrentSessions(t *testing.T) {
 	wg.Wait()
 	ss := st.NewSession()
 	defer ss.Close()
-	if n := ss.Len(); n != goroutines*perG {
-		t.Fatalf("Len = %d, want %d", n, goroutines*perG)
+	if n, err := ss.Len(); err != nil || n != goroutines*perG {
+		t.Fatalf("Len = %d (%v), want %d", n, err, goroutines*perG)
 	}
 }
 
@@ -226,8 +226,8 @@ func TestCleanReopen(t *testing.T) {
 	rs := re.NewSession()
 	defer rs.Close()
 	for _, k := range keys {
-		if v, ok := rs.Get(k); !ok || v != k+1 {
-			t.Fatalf("after reopen Get(%d) = (%d,%v)", k, v, ok)
+		if v, ok, err := rs.Get(k); err != nil || !ok || v != k+1 {
+			t.Fatalf("after reopen Get(%d) = (%d,%v,%v)", k, v, ok, err)
 		}
 	}
 	if err := re.CheckInvariants(); err != nil {
@@ -296,18 +296,103 @@ func TestReopenRejectsMismatchedShape(t *testing.T) {
 	}
 }
 
-func TestNewSessionOnClosedStorePanics(t *testing.T) {
-	st, err := Open(Options{Shards: 1, ShardSize: 16 << 20})
+// TestSessionOnClosedStore covers the drain contract: sessions created
+// before or after Close keep working as handles, but every operation fails
+// with ErrClosed instead of touching released shard state.
+func TestSessionOnClosedStore(t *testing.T) {
+	st, err := Open(Options{Shards: 2, ShardSize: 16 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	st.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewSession on closed store did not panic")
+	pre := st.NewSession()
+	defer pre.Close()
+	if err := pre.Put(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	post := st.NewSession() // must not panic
+	defer post.Close()
+	for name, err := range map[string]error{
+		"Put":      pre.Put(3, 4),
+		"PutBatch": pre.PutBatch([]KV{{5, 6}}),
+		"Scan":     pre.Scan(0, ^uint64(0), func(uint64, uint64) bool { return true }),
+		"post.Put": post.Put(7, 8),
+	} {
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("%s on closed store: err = %v, want ErrClosed", name, err)
 		}
-	}()
-	st.NewSession()
+	}
+	if _, _, err := pre.Get(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get on closed store: err = %v, want ErrClosed", err)
+	}
+	if _, err := pre.Delete(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Delete on closed store: err = %v, want ErrClosed", err)
+	}
+	if _, err := pre.Len(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Len on closed store: err = %v, want ErrClosed", err)
+	}
+	if err := st.CheckInvariants(); !errors.Is(err, ErrClosed) {
+		t.Errorf("CheckInvariants on closed store: err = %v, want ErrClosed", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestCloseDrainsConcurrentOps hammers the close gate: goroutines stream
+// operations while the store closes underneath them. Every operation must
+// either succeed cleanly or fail with ErrClosed — no panics, no torn reads —
+// and everything acknowledged before Close started must still be counted.
+// Run under -race this also proves the gate orders operations against
+// teardown.
+func TestCloseDrainsConcurrentOps(t *testing.T) {
+	st, err := Open(Options{Shards: 4, ShardSize: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var acked atomic.Uint64
+	var closedSeen atomic.Uint64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ss := st.NewSession()
+			defer ss.Close()
+			<-start
+			for i := uint64(0); ; i++ {
+				k := uint64(g)<<32 | i
+				err := ss.Put(k, k)
+				if errors.Is(err, ErrClosed) {
+					closedSeen.Add(1)
+					return
+				}
+				if err != nil {
+					t.Errorf("Put(%d): %v", k, err)
+					return
+				}
+				acked.Add(1)
+				if _, ok, err := ss.Get(k); err == nil && !ok {
+					t.Errorf("acked key %d missing before close", k)
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	time.Sleep(5 * time.Millisecond) // let writers get going
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if closedSeen.Load() != goroutines {
+		t.Fatalf("%d goroutines saw ErrClosed, want %d", closedSeen.Load(), goroutines)
+	}
+	t.Logf("%d puts acknowledged before close", acked.Load())
 }
 
 func TestReopenRequiresReopenableKind(t *testing.T) {
@@ -387,8 +472,8 @@ func TestShardScaling(t *testing.T) {
 				var last uint64
 				for i := 0; i < ops/goroutines; i++ {
 					if i%2 == 1 && last != 0 {
-						if _, ok := ss.Get(last); !ok {
-							t.Errorf("key %d missing", last)
+						if _, ok, err := ss.Get(last); err != nil || !ok {
+							t.Errorf("key %d missing (%v)", last, err)
 							return
 						}
 						continue

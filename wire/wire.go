@@ -1,0 +1,425 @@
+// Package wire defines the pmkv network protocol: a compact length-prefixed
+// binary framing shared by package server and package client.
+//
+// Every message is one frame:
+//
+//	+----------+-----------------------------+
+//	| len u32  | body (len bytes)            |
+//	+----------+-----------------------------+
+//
+// with len counting only the body, big-endian like every other integer on
+// the wire. Request and response bodies share a fixed header so frames are
+// self-describing:
+//
+//	request body:  id u64 | op u8     | payload
+//	response body: id u64 | op u8 | status u8 | payload
+//
+// The id is chosen by the client and echoed verbatim by the server; it is
+// what lets a connection carry many in-flight requests (pipelining) with
+// responses matched back out of order. The op byte in the response echoes
+// the request's opcode so the payload can be decoded statelessly.
+//
+// Request payloads by opcode:
+//
+//	Get      key u64
+//	Put      key u64 | val u64
+//	Delete   key u64
+//	PutBatch count u32 | count x (key u64 | val u64)
+//	Scan     lo u64 | hi u64 | max u32   (max 0 = server default cap)
+//	Stats    (empty)
+//
+// Response payloads by status:
+//
+//	StatusOK        op-specific: Get → val u64; Scan → count u32 + pairs;
+//	                Stats → 6 x u64 (ops, errors, bytes in, bytes out,
+//	                live conns, total conns); others empty.
+//	StatusNotFound  empty (Get miss, Delete of an absent key)
+//	StatusErr       UTF-8 error message
+//	StatusClosed    UTF-8 error message (server draining / store closed)
+//
+// Decoders are hardened against arbitrary bytes: they never panic, never
+// allocate more than the frame they were handed, and reject frames with
+// trailing garbage (see FuzzDecodeRequest).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame is the default cap on a frame body. It bounds both the decoder's
+// allocations and a PutBatch/Scan payload (65536 pairs fit with room for the
+// header).
+const MaxFrame = 1 << 20
+
+// MaxPairs is the largest pair count a single PutBatch or Scan frame may
+// carry under MaxFrame. Clients chunk larger batches across frames.
+const MaxPairs = 32768
+
+// Op identifies a request operation.
+type Op uint8
+
+// The protocol opcodes. Zero is deliberately invalid so an all-zero frame
+// cannot decode as a request.
+const (
+	OpGet Op = iota + 1
+	OpPut
+	OpDelete
+	OpPutBatch
+	OpScan
+	OpStats
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpGet:
+		return "Get"
+	case OpPut:
+		return "Put"
+	case OpDelete:
+		return "Delete"
+	case OpPutBatch:
+		return "PutBatch"
+	case OpScan:
+		return "Scan"
+	case OpStats:
+		return "Stats"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}
+
+// Status is a response status code.
+type Status uint8
+
+const (
+	// StatusOK reports success; the payload is op-specific.
+	StatusOK Status = iota
+	// StatusNotFound reports a Get miss or a Delete of an absent key.
+	StatusNotFound
+	// StatusErr reports a server-side failure; the payload is a message.
+	StatusErr
+	// StatusClosed reports that the store behind the server is closed
+	// (the server is draining); the payload is a message.
+	StatusClosed
+)
+
+func (st Status) String() string {
+	switch st {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NotFound"
+	case StatusErr:
+		return "Err"
+	case StatusClosed:
+		return "Closed"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(st))
+	}
+}
+
+// KV is one key-value pair as carried by PutBatch and Scan frames.
+type KV struct {
+	Key, Val uint64
+}
+
+// Stats is the counter snapshot a StatusOK Stats response carries.
+type Stats struct {
+	Ops        uint64 // requests served
+	Errors     uint64 // requests answered with StatusErr or StatusClosed
+	BytesIn    uint64 // request bytes read, including frame headers
+	BytesOut   uint64 // response bytes written, including frame headers
+	ConnsLive  uint64 // currently open connections
+	ConnsTotal uint64 // connections accepted since start
+}
+
+// Request is a decoded request frame. Fields beyond ID and Op are meaningful
+// per opcode only (see the package comment).
+type Request struct {
+	ID     uint64
+	Op     Op
+	Key    uint64 // Get, Put, Delete
+	Val    uint64 // Put
+	Lo, Hi uint64 // Scan
+	Max    uint32 // Scan result cap; 0 = server default
+	Pairs  []KV   // PutBatch
+}
+
+// Response is a decoded response frame. Fields beyond ID, Op and Status are
+// meaningful per op/status only.
+type Response struct {
+	ID     uint64
+	Op     Op
+	Status Status
+	Val    uint64 // Get hit
+	Pairs  []KV   // Scan
+	Stats  Stats  // Stats
+	Msg    string // StatusErr / StatusClosed detail
+}
+
+// Protocol errors. Decoder errors wrap ErrMalformed so transports can treat
+// any of them as fatal for the connection.
+var (
+	ErrMalformed   = errors.New("wire: malformed frame")
+	ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
+	ErrTooManyKV   = errors.New("wire: too many pairs for one frame")
+)
+
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
+
+var be = binary.BigEndian
+
+// reqHeader is id + op; respHeader adds the status byte.
+const (
+	reqHeader  = 8 + 1
+	respHeader = 8 + 1 + 1
+	statsWords = 6
+)
+
+// ReadFrame reads one length-prefixed frame body from r. scratch, if large
+// enough, backs the returned slice (callers recycle it across reads); the
+// returned body is valid until the next ReadFrame with the same scratch.
+// Frames longer than max are rejected before any body allocation.
+func ReadFrame(r io.Reader, max uint32, scratch []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := be.Uint32(hdr[:])
+	if n > max {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, n, max)
+	}
+	if n < reqHeader {
+		return nil, malformed("body of %d bytes is below the %d-byte header", n, reqHeader)
+	}
+	buf := scratch
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		// A partial body is a connection-level failure, not a decode
+		// failure: surface the transport error.
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// appendFrame completes a frame started by reserving 4 length bytes at
+// lenAt: it back-patches the length with everything appended since.
+func appendFrame(dst []byte, lenAt int) []byte {
+	be.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	return dst
+}
+
+// AppendRequest appends r as one length-prefixed frame to dst and returns
+// the extended slice. The only encode-time failure is a PutBatch exceeding
+// MaxPairs; chunk those across frames.
+func AppendRequest(dst []byte, r *Request) ([]byte, error) {
+	if r.Op == OpPutBatch && len(r.Pairs) > MaxPairs {
+		return dst, fmt.Errorf("%w: %d > %d", ErrTooManyKV, len(r.Pairs), MaxPairs)
+	}
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = be.AppendUint64(dst, r.ID)
+	dst = append(dst, byte(r.Op))
+	switch r.Op {
+	case OpGet, OpDelete:
+		dst = be.AppendUint64(dst, r.Key)
+	case OpPut:
+		dst = be.AppendUint64(dst, r.Key)
+		dst = be.AppendUint64(dst, r.Val)
+	case OpPutBatch:
+		dst = be.AppendUint32(dst, uint32(len(r.Pairs)))
+		for _, kv := range r.Pairs {
+			dst = be.AppendUint64(dst, kv.Key)
+			dst = be.AppendUint64(dst, kv.Val)
+		}
+	case OpScan:
+		dst = be.AppendUint64(dst, r.Lo)
+		dst = be.AppendUint64(dst, r.Hi)
+		dst = be.AppendUint32(dst, r.Max)
+	case OpStats:
+	default:
+		return dst[:lenAt], fmt.Errorf("wire: cannot encode unknown opcode %d", r.Op)
+	}
+	return appendFrame(dst, lenAt), nil
+}
+
+// DecodeRequest parses one request frame body (the bytes after the length
+// prefix). It never panics on arbitrary input and rejects trailing bytes.
+func DecodeRequest(body []byte) (Request, error) {
+	var r Request
+	if len(body) < reqHeader {
+		return r, malformed("request body %d bytes, want >= %d", len(body), reqHeader)
+	}
+	r.ID = be.Uint64(body)
+	r.Op = Op(body[8])
+	p := body[reqHeader:]
+	switch r.Op {
+	case OpGet, OpDelete:
+		if len(p) != 8 {
+			return r, malformed("%s payload %d bytes, want 8", r.Op, len(p))
+		}
+		r.Key = be.Uint64(p)
+	case OpPut:
+		if len(p) != 16 {
+			return r, malformed("Put payload %d bytes, want 16", len(p))
+		}
+		r.Key = be.Uint64(p)
+		r.Val = be.Uint64(p[8:])
+	case OpPutBatch:
+		if len(p) < 4 {
+			return r, malformed("PutBatch payload %d bytes, want >= 4", len(p))
+		}
+		n := be.Uint32(p)
+		p = p[4:]
+		// Length check before allocation: n is attacker-controlled, the
+		// actual bytes present are not.
+		if uint64(len(p)) != uint64(n)*16 {
+			return r, malformed("PutBatch count %d disagrees with %d payload bytes", n, len(p))
+		}
+		if n > MaxPairs {
+			return r, malformed("PutBatch count %d exceeds MaxPairs %d", n, MaxPairs)
+		}
+		pairs := make([]KV, n)
+		for i := range pairs {
+			pairs[i].Key = be.Uint64(p[i*16:])
+			pairs[i].Val = be.Uint64(p[i*16+8:])
+		}
+		r.Pairs = pairs
+	case OpScan:
+		if len(p) != 20 {
+			return r, malformed("Scan payload %d bytes, want 20", len(p))
+		}
+		r.Lo = be.Uint64(p)
+		r.Hi = be.Uint64(p[8:])
+		r.Max = be.Uint32(p[16:])
+	case OpStats:
+		if len(p) != 0 {
+			return r, malformed("Stats payload %d bytes, want 0", len(p))
+		}
+	default:
+		return r, malformed("unknown opcode %d", uint8(r.Op))
+	}
+	return r, nil
+}
+
+// AppendResponse appends r as one length-prefixed frame to dst and returns
+// the extended slice. Scan responses exceeding MaxPairs fail at encode time;
+// servers cap result sets below that.
+func AppendResponse(dst []byte, r *Response) ([]byte, error) {
+	if r.Op == OpScan && r.Status == StatusOK && len(r.Pairs) > MaxPairs {
+		return dst, fmt.Errorf("%w: %d > %d", ErrTooManyKV, len(r.Pairs), MaxPairs)
+	}
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = be.AppendUint64(dst, r.ID)
+	dst = append(dst, byte(r.Op), byte(r.Status))
+	switch {
+	case r.Status == StatusErr || r.Status == StatusClosed:
+		dst = append(dst, r.Msg...)
+	case r.Status != StatusOK:
+		// NotFound and any forward-compatible status carry no payload.
+	default:
+		switch r.Op {
+		case OpGet:
+			dst = be.AppendUint64(dst, r.Val)
+		case OpScan:
+			dst = be.AppendUint32(dst, uint32(len(r.Pairs)))
+			for _, kv := range r.Pairs {
+				dst = be.AppendUint64(dst, kv.Key)
+				dst = be.AppendUint64(dst, kv.Val)
+			}
+		case OpStats:
+			for _, v := range [statsWords]uint64{
+				r.Stats.Ops, r.Stats.Errors, r.Stats.BytesIn,
+				r.Stats.BytesOut, r.Stats.ConnsLive, r.Stats.ConnsTotal,
+			} {
+				dst = be.AppendUint64(dst, v)
+			}
+		case OpPut, OpDelete, OpPutBatch:
+		default:
+			return dst[:lenAt], fmt.Errorf("wire: cannot encode unknown opcode %d", r.Op)
+		}
+	}
+	return appendFrame(dst, lenAt), nil
+}
+
+// DecodeResponse parses one response frame body. Like DecodeRequest it never
+// panics and rejects trailing bytes.
+func DecodeResponse(body []byte) (Response, error) {
+	var r Response
+	if len(body) < respHeader {
+		return r, malformed("response body %d bytes, want >= %d", len(body), respHeader)
+	}
+	r.ID = be.Uint64(body)
+	r.Op = Op(body[8])
+	r.Status = Status(body[9])
+	p := body[respHeader:]
+	switch r.Status {
+	case StatusErr, StatusClosed:
+		r.Msg = string(p)
+		return r, nil
+	case StatusNotFound:
+		if len(p) != 0 {
+			return r, malformed("NotFound payload %d bytes, want 0", len(p))
+		}
+		return r, nil
+	case StatusOK:
+	default:
+		return r, malformed("unknown status %d", uint8(r.Status))
+	}
+	switch r.Op {
+	case OpGet:
+		if len(p) != 8 {
+			return r, malformed("Get response payload %d bytes, want 8", len(p))
+		}
+		r.Val = be.Uint64(p)
+	case OpPut, OpDelete, OpPutBatch:
+		if len(p) != 0 {
+			return r, malformed("%s response payload %d bytes, want 0", r.Op, len(p))
+		}
+	case OpScan:
+		if len(p) < 4 {
+			return r, malformed("Scan response payload %d bytes, want >= 4", len(p))
+		}
+		n := be.Uint32(p)
+		p = p[4:]
+		if uint64(len(p)) != uint64(n)*16 {
+			return r, malformed("Scan count %d disagrees with %d payload bytes", n, len(p))
+		}
+		if n > MaxPairs {
+			return r, malformed("Scan count %d exceeds MaxPairs %d", n, MaxPairs)
+		}
+		pairs := make([]KV, n)
+		for i := range pairs {
+			pairs[i].Key = be.Uint64(p[i*16:])
+			pairs[i].Val = be.Uint64(p[i*16+8:])
+		}
+		r.Pairs = pairs
+	case OpStats:
+		if len(p) != statsWords*8 {
+			return r, malformed("Stats response payload %d bytes, want %d", len(p), statsWords*8)
+		}
+		r.Stats = Stats{
+			Ops:        be.Uint64(p),
+			Errors:     be.Uint64(p[8:]),
+			BytesIn:    be.Uint64(p[16:]),
+			BytesOut:   be.Uint64(p[24:]),
+			ConnsLive:  be.Uint64(p[32:]),
+			ConnsTotal: be.Uint64(p[40:]),
+		}
+	default:
+		return r, malformed("unknown opcode %d", uint8(r.Op))
+	}
+	return r, nil
+}

@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func requestCases() []Request {
+	return []Request{
+		{ID: 1, Op: OpGet, Key: 42},
+		{ID: 2, Op: OpPut, Key: 42, Val: ^uint64(0)},
+		{ID: 3, Op: OpDelete, Key: 0},
+		{ID: 4, Op: OpPutBatch, Pairs: []KV{{1, 2}, {3, 4}, {^uint64(0), 0}}},
+		{ID: 5, Op: OpPutBatch, Pairs: []KV{}},
+		{ID: 6, Op: OpScan, Lo: 10, Hi: 20, Max: 7},
+		{ID: 7, Op: OpScan, Lo: 0, Hi: ^uint64(0), Max: 0},
+		{ID: ^uint64(0), Op: OpStats},
+	}
+}
+
+func responseCases() []Response {
+	return []Response{
+		{ID: 1, Op: OpGet, Status: StatusOK, Val: 99},
+		{ID: 2, Op: OpGet, Status: StatusNotFound},
+		{ID: 3, Op: OpPut, Status: StatusOK},
+		{ID: 4, Op: OpDelete, Status: StatusNotFound},
+		{ID: 5, Op: OpPutBatch, Status: StatusOK},
+		{ID: 6, Op: OpScan, Status: StatusOK, Pairs: []KV{{5, 6}, {7, 8}}},
+		{ID: 7, Op: OpScan, Status: StatusOK, Pairs: []KV{}},
+		{ID: 8, Op: OpStats, Status: StatusOK, Stats: Stats{
+			Ops: 1, Errors: 2, BytesIn: 3, BytesOut: 4, ConnsLive: 5, ConnsTotal: 6,
+		}},
+		{ID: 9, Op: OpPut, Status: StatusErr, Msg: "shard 3: arena exhausted"},
+		{ID: 10, Op: OpGet, Status: StatusClosed, Msg: "store: closed"},
+		{ID: 11, Op: OpPut, Status: StatusErr, Msg: ""},
+	}
+}
+
+// normPairs makes nil and empty pair slices compare equal: the decoder is
+// free to return either for a zero count.
+func normPairs(p []KV) []KV {
+	if len(p) == 0 {
+		return nil
+	}
+	return p
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	for _, want := range requestCases() {
+		frame, err := AppendRequest(nil, &want)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", want.Op, err)
+		}
+		body, err := ReadFrame(bytes.NewReader(frame), MaxFrame, nil)
+		if err != nil {
+			t.Fatalf("%v: ReadFrame: %v", want.Op, err)
+		}
+		got, err := DecodeRequest(body)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", want.Op, err)
+		}
+		got.Pairs, want.Pairs = normPairs(got.Pairs), normPairs(want.Pairs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	for _, want := range responseCases() {
+		frame, err := AppendResponse(nil, &want)
+		if err != nil {
+			t.Fatalf("%v/%v: encode: %v", want.Op, want.Status, err)
+		}
+		body, err := ReadFrame(bytes.NewReader(frame), MaxFrame, nil)
+		if err != nil {
+			t.Fatalf("%v/%v: ReadFrame: %v", want.Op, want.Status, err)
+		}
+		got, err := DecodeResponse(body)
+		if err != nil {
+			t.Fatalf("%v/%v: decode: %v", want.Op, want.Status, err)
+		}
+		got.Pairs, want.Pairs = normPairs(got.Pairs), normPairs(want.Pairs)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+// TestStreamedFrames decodes several frames back to back from one reader,
+// recycling the scratch buffer the way the transports do.
+func TestStreamedFrames(t *testing.T) {
+	var stream []byte
+	var err error
+	reqs := requestCases()
+	for i := range reqs {
+		stream, err = AppendRequest(stream, &reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	var scratch []byte
+	for i := range reqs {
+		body, err := ReadFrame(r, MaxFrame, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := DecodeRequest(body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.ID != reqs[i].ID || got.Op != reqs[i].Op {
+			t.Fatalf("frame %d: got id=%d op=%v, want id=%d op=%v",
+				i, got.ID, got.Op, reqs[i].ID, reqs[i].Op)
+		}
+		scratch = body[:0]
+	}
+	if _, err := ReadFrame(r, MaxFrame, scratch); err != io.EOF {
+		t.Fatalf("trailing read: %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	// Oversized frame: rejected from the header alone.
+	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(huge), MaxFrame, nil); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversized: %v, want ErrFrameTooBig", err)
+	}
+	// Undersized body length.
+	tiny := []byte{0, 0, 0, 4, 1, 2, 3, 4}
+	if _, err := ReadFrame(bytes.NewReader(tiny), MaxFrame, nil); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("undersized: %v, want ErrMalformed", err)
+	}
+	// Truncated body.
+	frame, err := AppendRequest(nil, &Request{ID: 1, Op: OpPut, Key: 1, Val: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3]), MaxFrame, nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated: %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestDecodeRequestRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"short header", make([]byte, 8)},
+		{"zero opcode", make([]byte, 9)},
+		{"unknown opcode", append(make([]byte, 8), 0xee)},
+		{"get without key", append(make([]byte, 8), byte(OpGet))},
+		{"get trailing bytes", append(make([]byte, 8), byte(OpGet), 0, 0, 0, 0, 0, 0, 0, 0, 99)},
+		{"batch short count", append(make([]byte, 8), byte(OpPutBatch), 1)},
+		{"batch count lies", append(append(make([]byte, 8), byte(OpPutBatch)), 0xff, 0xff, 0xff, 0xff)},
+		{"stats with payload", append(make([]byte, 8), byte(OpStats), 1)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.body); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: err = %v, want ErrMalformed", tc.name, err)
+		}
+	}
+}
+
+func TestBatchTooLarge(t *testing.T) {
+	req := Request{Op: OpPutBatch, Pairs: make([]KV, MaxPairs+1)}
+	if _, err := AppendRequest(nil, &req); !errors.Is(err, ErrTooManyKV) {
+		t.Fatalf("err = %v, want ErrTooManyKV", err)
+	}
+	resp := Response{Op: OpScan, Status: StatusOK, Pairs: make([]KV, MaxPairs+1)}
+	if _, err := AppendResponse(nil, &resp); !errors.Is(err, ErrTooManyKV) {
+		t.Fatalf("err = %v, want ErrTooManyKV", err)
+	}
+	// A max-size batch still fits under MaxFrame.
+	req.Pairs = make([]KV, MaxPairs)
+	frame, err := AppendRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) > MaxFrame+4 {
+		t.Fatalf("max batch frame is %d bytes, exceeds MaxFrame %d", len(frame), MaxFrame)
+	}
+	// The decoders enforce the same cap, so a hand-rolled peer cannot
+	// push frames the encoders would refuse to produce.
+	over := be.AppendUint32(append(make([]byte, 8), byte(OpPutBatch)), MaxPairs+1)
+	for i := 0; i < (MaxPairs+1)*2; i++ {
+		over = be.AppendUint64(over, 0)
+	}
+	if _, err := DecodeRequest(over); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("decode of %d-pair batch: %v, want ErrMalformed", MaxPairs+1, err)
+	}
+}
+
+func TestErrorMessageRoundTrip(t *testing.T) {
+	long := strings.Repeat("x", 1000)
+	r := Response{ID: 1, Op: OpPut, Status: StatusErr, Msg: long}
+	frame, err := AppendResponse(nil, &r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := ReadFrame(bytes.NewReader(frame), MaxFrame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Msg != long {
+		t.Fatalf("message corrupted: %d bytes, want %d", len(got.Msg), len(long))
+	}
+}
