@@ -7,10 +7,20 @@
 // Usage:
 //
 //	pmkv-loadgen [-addr localhost:7841] [-ops 500000] [-clients 32]
-//	             [-conns 4] [-read 0.5] [-keys 1000000] [-preload 0]
+//	             [-conns 4] [-read 0.5] [-mix get=90,put=10]
+//	             [-keys 1000000] [-preload 0] [-scanmax 100]
+//	             [-memprofile heap.pprof]
 //
 // -clients 1 -conns 1 is the unpipelined baseline (one request per round
 // trip); raising -clients while holding -conns shows what pipelining buys.
+//
+// The workload is either the legacy -read get/put split or an explicit
+// -mix of weighted operations ("get=90,put=10", also accepting delete and
+// scan; weights need not sum to 100). Scans page -scanmax pairs from a
+// random key upward, driving the server's pooled Scan response path.
+//
+// -memprofile writes a heap profile when the run finishes — the easy check
+// that read-heavy serving stays allocation-quiet end to end.
 package main
 
 import (
@@ -19,7 +29,11 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,18 +41,87 @@ import (
 	"repro/client"
 )
 
+// mixWeights is the parsed -mix flag: relative weights per opcode.
+type mixWeights struct {
+	get, put, delete, scan int
+}
+
+func (m mixWeights) total() int { return m.get + m.put + m.delete + m.scan }
+
+// parseMix parses "get=90,put=10" style op weight lists.
+func parseMix(s string) (mixWeights, error) {
+	var m mixWeights
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("bad -mix element %q, want op=weight", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad -mix weight %q", val)
+		}
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "get":
+			m.get = w
+		case "put":
+			m.put = w
+		case "delete", "del":
+			m.delete = w
+		case "scan":
+			m.scan = w
+		default:
+			return m, fmt.Errorf("unknown -mix op %q (want get/put/delete/scan)", name)
+		}
+	}
+	if m.total() == 0 {
+		return m, fmt.Errorf("-mix %q has zero total weight", s)
+	}
+	return m, nil
+}
+
+// pick maps a roll in [0, total) to an opcode name.
+func (m mixWeights) pick(roll int) string {
+	if roll < m.get {
+		return "get"
+	}
+	roll -= m.get
+	if roll < m.put {
+		return "put"
+	}
+	roll -= m.put
+	if roll < m.delete {
+		return "delete"
+	}
+	return "scan"
+}
+
 func main() {
 	addr := flag.String("addr", "localhost:7841", "server address")
 	ops := flag.Int("ops", 500000, "total operations")
 	clients := flag.Int("clients", 32, "closed-loop worker goroutines")
 	conns := flag.Int("conns", 4, "pooled TCP connections")
-	readFrac := flag.Float64("read", 0.5, "fraction of ops that are Gets")
+	readFrac := flag.Float64("read", 0.5, "fraction of ops that are Gets (ignored when -mix is set)")
+	mixFlag := flag.String("mix", "", "weighted op mix, e.g. get=90,put=10 (ops: get, put, delete, scan)")
 	keys := flag.Uint64("keys", 1000000, "key space size")
 	preload := flag.Int("preload", 0, "keys to PutBatch before timing (0 = keyspace/4)")
+	scanMax := flag.Int("scanmax", 100, "pairs per scan request in -mix scan ops")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if *clients < 1 || *conns < 1 || *ops < 1 || *keys < 1 || *readFrac < 0 || *readFrac > 1 {
+	if *clients < 1 || *conns < 1 || *ops < 1 || *keys < 1 || *readFrac < 0 || *readFrac > 1 || *scanMax < 1 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	mix := mixWeights{get: int(*readFrac * 1000), put: 1000 - int(*readFrac*1000)}
+	if *mixFlag != "" {
+		var err error
+		if mix, err = parseMix(*mixFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	pool, err := client.DialPool(*addr, *conns, client.Options{})
@@ -70,8 +153,9 @@ func main() {
 	if perG == 0 {
 		perG = 1 // fewer ops than clients: still do one op each
 	}
+	total := mix.total()
 	lats := make([][]time.Duration, *clients)
-	var failed atomic.Uint64
+	var failed, scanned atomic.Uint64
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for g := 0; g < *clients; g++ {
@@ -83,12 +167,20 @@ func main() {
 			my := make([]time.Duration, 0, perG)
 			for i := 0; i < perG; i++ {
 				k := rng.Uint64()%*keys + 1
+				op := mix.pick(rng.Intn(total))
 				start := time.Now()
 				var err error
-				if rng.Float64() < *readFrac {
+				switch op {
+				case "get":
 					_, _, err = c.Get(k)
-				} else {
+				case "put":
 					err = c.Put(k, k^0xbeef)
+				case "delete":
+					_, err = c.Delete(k)
+				case "scan":
+					var pairs []client.KV
+					pairs, err = c.Scan(k, ^uint64(0), *scanMax)
+					scanned.Add(uint64(len(pairs)))
 				}
 				if err != nil {
 					failed.Add(1)
@@ -121,11 +213,32 @@ func main() {
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(0.999).Round(time.Microsecond),
 		all[len(all)-1].Round(time.Microsecond))
-	fmt.Printf("config: %d clients over %d conns, %.0f%% reads, keyspace %d\n",
-		*clients, *conns, *readFrac*100, *keys)
+	if *mixFlag != "" {
+		fmt.Printf("config: %d clients over %d conns, mix %s, keyspace %d", *clients, *conns, *mixFlag, *keys)
+		if mix.scan > 0 {
+			fmt.Printf(", %d pairs scanned", scanned.Load())
+		}
+		fmt.Println()
+	} else {
+		fmt.Printf("config: %d clients over %d conns, %.0f%% reads, keyspace %d\n",
+			*clients, *conns, *readFrac*100, *keys)
+	}
 
 	if stats, err := pool.Stats(); err == nil {
 		fmt.Printf("server: %d ops (%d errors), %d conns live, %d B in, %d B out\n",
 			stats.Ops, stats.Errors, stats.ConnsLive, stats.BytesIn, stats.BytesOut)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // flush dead objects so the profile shows live state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		f.Close()
+		fmt.Printf("heap profile written to %s\n", *memprofile)
 	}
 }

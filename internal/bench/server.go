@@ -74,19 +74,21 @@ func FigServer(cfg ServerConfig) *Table {
 	return tbl
 }
 
-// serverRun drives one cell: a fresh store + server on 127.0.0.1:0, then
-// `clients` goroutines in a closed loop over a shared pool, alternating Put
-// and Get on a per-goroutine key stream. Returns ops/sec, p50 and p99.
-func serverRun(clients int, cfg ServerConfig) (tput float64, p50, p99 time.Duration) {
+// withServerPool owns the remote-benchmark lifecycle shared by serverRun and
+// hotpathServer: a fresh 8-shard store and server on 127.0.0.1:0, a client
+// pool of `conns` connections, then body(pool), then graceful drain and
+// teardown in the order the server contract requires (pool, Shutdown, Serve
+// return, store Close).
+func withServerPool(mem pmem.Config, workers, conns int, body func(pool *client.Pool)) {
 	st, err := store.Open(store.Options{
 		Shards:    8,
 		ShardSize: 64 << 20,
-		Mem:       cfg.Mem,
+		Mem:       mem,
 	})
 	if err != nil {
 		panic(err)
 	}
-	srv := server.New(st, server.Options{Workers: cfg.Workers})
+	srv := server.New(st, server.Options{Workers: workers})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
@@ -94,51 +96,59 @@ func serverRun(clients int, cfg ServerConfig) (tput float64, p50, p99 time.Durat
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
-	pool, err := client.DialPool(ln.Addr().String(), min(cfg.Conns, clients), client.Options{})
+	pool, err := client.DialPool(ln.Addr().String(), conns, client.Options{})
 	if err != nil {
 		panic(err)
 	}
-
-	perG := cfg.Ops / clients
-	if perG == 0 {
-		perG = 1 // tiny -n with a wide client sweep: still measure something
-	}
-	lats := make([][]time.Duration, clients)
-	var wg sync.WaitGroup
-	t0 := time.Now()
-	for g := 0; g < clients; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			c := pool.Conn()
-			my := make([]time.Duration, 0, perG)
-			base := uint64(g) << 32
-			for i := 0; i < perG; i++ {
-				k := base | uint64(i/2+1)
-				start := time.Now()
-				var err error
-				if i%2 == 0 {
-					err = c.Put(k, k^0xdead)
-				} else {
-					_, _, err = c.Get(k)
-				}
-				if err != nil {
-					panic(err)
-				}
-				my = append(my, time.Since(start))
-			}
-			lats[g] = my
-		}(g)
-	}
-	wg.Wait()
-	elapsed := time.Since(t0)
-
+	body(pool)
 	pool.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	srv.Shutdown(ctx)
 	cancel()
 	<-done
 	st.Close()
+}
+
+// serverRun drives one cell: `clients` goroutines in a closed loop over a
+// shared pool, alternating Put and Get on a per-goroutine key stream.
+// Returns ops/sec, p50 and p99.
+func serverRun(clients int, cfg ServerConfig) (tput float64, p50, p99 time.Duration) {
+	perG := cfg.Ops / clients
+	if perG == 0 {
+		perG = 1 // tiny -n with a wide client sweep: still measure something
+	}
+	lats := make([][]time.Duration, clients)
+	var elapsed time.Duration
+	withServerPool(cfg.Mem, cfg.Workers, min(cfg.Conns, clients), func(pool *client.Pool) {
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				c := pool.Conn()
+				my := make([]time.Duration, 0, perG)
+				base := uint64(g) << 32
+				for i := 0; i < perG; i++ {
+					k := base | uint64(i/2+1)
+					start := time.Now()
+					var err error
+					if i%2 == 0 {
+						err = c.Put(k, k^0xdead)
+					} else {
+						_, _, err = c.Get(k)
+					}
+					if err != nil {
+						panic(err)
+					}
+					my = append(my, time.Since(start))
+				}
+				lats[g] = my
+			}(g)
+		}
+		wg.Wait()
+		elapsed = time.Since(t0)
+	})
 
 	var all []time.Duration
 	for _, l := range lats {

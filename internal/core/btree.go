@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/pmem"
@@ -64,7 +63,8 @@ type BTree struct {
 	slots      int // record slots per node
 	maxEntries int // slots - 1: the last slot always keeps a zero ptr
 	rootMu     sync.Mutex
-	splitLog   int64 // redo-log area for Options.LoggedSplit
+	splitLog   int64     // redo-log area for Options.LoggedSplit
+	scratch    sync.Pool // *scanScratch, reused across Scans
 }
 
 // New creates an empty tree anchored at opts.RootSlot and persists it.
@@ -134,13 +134,6 @@ func (t *BTree) Height(th *pmem.Thread) int {
 	return t.level(th, t.root(th)) + 1
 }
 
-// pause backs off a spinlock loop.
-func pause(spins int) {
-	if spins%64 == 63 {
-		runtime.Gosched()
-	}
-}
-
 // --- descent -------------------------------------------------------------
 
 // descendToLeaf routes from the root to the leaf whose range covers key,
@@ -163,14 +156,57 @@ func (t *BTree) descendToLeaf(th *pmem.Thread, key uint64) node {
 // which upper-bounds right-to-left scans. In delete mode zero slots only
 // spread leftward, so a bound read before the scan stays valid during it;
 // stale non-zero slots *beyond* the terminator (pre-split leftovers, consumed
-// lazily by fastInsert) are never visited.
+// lazily by fastInsert) are never visited. The scan is line-granular: one
+// latency charge per record line, terminator located in the snapshot.
 func (t *BTree) scanBound(th *pmem.Thread, n node) int {
-	i := 0
-	for i < t.slots && t.ptrAt(th, n, i) != 0 {
-		i++
+	var ln [pmem.WordsPerLine]uint64
+	for base := 0; base < t.slots; base += slotsPerLine {
+		th.LoadLine(t.slotOff(n, base), &ln)
+		for j := 0; j < slotsPerLine; j++ {
+			if ln[2*j+1] == 0 {
+				return base + j
+			}
+		}
 	}
-	return i
+	return t.slots
 }
+
+// bracketSlot re-reads slot i with the per-word protocol: the key
+// double-read bracketing the pointer and left-neighbour reads (Algorithm
+// 3's validity check). It is the authority behind every line-snapshot
+// candidate — the snapshot finds slots worth looking at, the bracket
+// decides. The left neighbour must be read inside the bracket: a stale
+// value could validate an entry whose pointer still holds the
+// left-duplicate of an in-flight insert. Callers classify the readout:
+//
+//	k1 != k2                     torn (a shift is running): re-snapshot
+//	k1 == k2, p == 0 or p == prev  committed invalid: skip the slot
+//	k1 == k2, p != 0, p != prev    valid entry (k1, p)
+func (t *BTree) bracketSlot(th *pmem.Thread, n node, i int) (k1, p, prev, k2 uint64) {
+	k1 = t.keyAt(th, n, i)
+	p = t.ptrAt(th, n, i)
+	prev = t.leftPtrOf(th, n, i)
+	k2 = t.keyAt(th, n, i)
+	return
+}
+
+// The lock-free scans below are line-granular: whole cache lines are
+// snapshotted (one latency charge and one batched stats update per line,
+// see pmem.Thread.LoadLine) and the snapshot drives the slot walk, with
+// per-word reads reserved for confirming candidate slots. Word order inside
+// a snapshot follows the scan direction — ascending in insert mode,
+// descending (LoadLineRev) in delete mode — so the FAST shift-visibility
+// argument (an entry shifting toward the scan front is seen twice at worst;
+// one shifting away is always copied to its destination before its source
+// is overwritten, and the destination is read later) carries over word for
+// word. When a candidate's bracket disagrees with the snapshot (the key
+// re-read differs, or the bracket sees a different key than the snapshot
+// did), the node shifted after the line was captured; the not-yet-processed
+// remainder of that snapshot can no longer be trusted, so the line is
+// re-snapshotted and the slot re-examined. A bracket that coherently shows
+// an invalid slot (duplicate or zero pointer) is skipped, exactly as the
+// per-word scans skipped it. The whole-scan switch-counter revalidation
+// bracket is unchanged.
 
 // routeChild finds the child covering key in internal node n: the pointer of
 // the last valid entry with entryKey <= key, or the leftmost child when key
@@ -179,44 +215,71 @@ func (t *BTree) routeChild(th *pmem.Thread, n node, key uint64) uint64 {
 	if t.opts.BinarySearch {
 		return t.routeChildBinary(th, n, key)
 	}
+	var ln [pmem.WordsPerLine]uint64
 	for {
 		sw := t.switchCtr(th, n)
 		var best uint64
 		found := false
 		if sw%2 == 0 {
-			// Insert direction: scan left to right. The left
-			// neighbour pointer is re-read inside the key
-			// double-read bracket: a stale value could validate an
-			// entry whose pointer still holds the left-duplicate of
-			// an in-flight insert.
-			for i := 0; i < t.slots; i++ {
-				k1 := t.keyAt(th, n, i)
-				p := t.ptrAt(th, n, i)
-				if p == 0 {
-					break
-				}
-				prev := t.leftPtrOf(th, n, i)
-				k2 := t.keyAt(th, n, i)
-				if k1 == k2 && p != prev && k1 <= key {
-					best, found = p, true
+			// Insert direction: scan lines left to right, tracking the
+			// last snapshot-valid entry with entryKey <= key, then
+			// confirm that one slot. Snapshot validity (p != prev, both
+			// from the same pass) keeps committed duplicates out of
+			// the candidate seat, so a failed confirmation always
+			// means a transient state: rescanning makes progress.
+			cand := -1
+			prev := t.leftmost(th, n)
+		scan:
+			for base := 0; base < t.slots; base += slotsPerLine {
+				th.LoadLine(t.slotOff(n, base), &ln)
+				for j := 0; j < slotsPerLine; j++ {
+					k, p := ln[2*j], ln[2*j+1]
+					if p == 0 {
+						break scan
+					}
+					if k <= key && p != prev {
+						cand = base + j
+					}
+					prev = p
 				}
 			}
-		} else {
-			// Delete direction: scan right to left; first valid
-			// entry with entryKey <= key wins. The scan starts at
-			// the terminator, not the last slot: slots beyond it
-			// can hold stale pre-split entries (see fastInsert).
-			for i := t.scanBound(th, n) - 1; i >= 0; i-- {
-				p := t.ptrAt(th, n, i)
-				if p == 0 {
+			if cand >= 0 {
+				k1, p, prevW, k2 := t.bracketSlot(th, n, cand)
+				if k1 != k2 || k1 > key || p == 0 || p == prevW {
 					continue
 				}
-				k1 := t.keyAt(th, n, i)
-				prev := t.leftPtrOf(th, n, i)
-				k2 := t.keyAt(th, n, i)
-				if k1 == k2 && p != prev && k1 <= key {
-					best, found = p, true
-					break
+				best, found = p, true
+			}
+		} else {
+			// Delete direction: scan right to left from the
+			// terminator (slots beyond it can hold stale pre-split
+			// entries, see fastInsert); the first confirmed entry
+			// with entryKey <= key wins.
+			last := t.scanBound(th, n) - 1
+		scanR:
+			for base := (last / slotsPerLine) * slotsPerLine; base >= 0 && last >= 0; base -= slotsPerLine {
+				th.LoadLineRev(t.slotOff(n, base), &ln)
+				top := slotsPerLine - 1
+				if base+top > last {
+					top = last - base
+				}
+				for j := top; j >= 0; {
+					k, p := ln[2*j], ln[2*j+1]
+					if p == 0 || k > key {
+						j--
+						continue
+					}
+					k1, p2, prevW, k2 := t.bracketSlot(th, n, base+j)
+					if k1 != k || k1 != k2 {
+						th.LoadLineRev(t.slotOff(n, base), &ln)
+						continue
+					}
+					if p2 == 0 || p2 == prevW {
+						j--
+						continue
+					}
+					best, found = p2, true
+					break scanR
 				}
 			}
 		}
@@ -284,42 +347,70 @@ func (t *BTree) Get(th *pmem.Thread, key uint64) (uint64, bool) {
 }
 
 // leafFind locates key's value box in leaf n using the lock-free protocol:
-// per-entry key double-read around the pointer reads, duplicate-pointer
-// validity, and whole-scan switch-counter revalidation (Algorithm 3).
+// line snapshots drive the slot walk, candidate hits are confirmed with the
+// per-entry key double-read + duplicate-pointer bracket, and the whole scan
+// is revalidated against the switch counter (Algorithm 3).
 func (t *BTree) leafFind(th *pmem.Thread, n node, key uint64) (uint64, bool) {
 	if t.opts.BinarySearch {
 		return t.leafFindBinary(th, n, key)
 	}
+	var ln [pmem.WordsPerLine]uint64
 	for {
 		sw := t.switchCtr(th, n)
 		var box uint64
 		found := false
 		if sw%2 == 0 {
-			for i := 0; i < t.slots; i++ {
-				k1 := t.keyAt(th, n, i)
-				p := t.ptrAt(th, n, i)
-				if p == 0 {
-					break
-				}
-				prev := t.leftPtrOf(th, n, i)
-				k2 := t.keyAt(th, n, i)
-				if k1 == key && k2 == key && p != prev {
-					box, found = p, true
-					break
+		scan:
+			for base := 0; base < t.slots; base += slotsPerLine {
+				th.LoadLine(t.slotOff(n, base), &ln)
+				for j := 0; j < slotsPerLine; {
+					k, p := ln[2*j], ln[2*j+1]
+					if p == 0 {
+						break scan
+					}
+					if k != key {
+						j++
+						continue
+					}
+					k1, p2, prev, k2 := t.bracketSlot(th, n, base+j)
+					if k1 != key || k1 != k2 {
+						th.LoadLine(t.slotOff(n, base), &ln)
+						continue
+					}
+					if p2 == 0 || p2 == prev {
+						j++
+						continue
+					}
+					box, found = p2, true
+					break scan
 				}
 			}
 		} else {
-			for i := t.scanBound(th, n) - 1; i >= 0; i-- {
-				p := t.ptrAt(th, n, i)
-				if p == 0 {
-					continue
+			last := t.scanBound(th, n) - 1
+		scanR:
+			for base := (last / slotsPerLine) * slotsPerLine; base >= 0 && last >= 0; base -= slotsPerLine {
+				th.LoadLineRev(t.slotOff(n, base), &ln)
+				top := slotsPerLine - 1
+				if base+top > last {
+					top = last - base
 				}
-				k1 := t.keyAt(th, n, i)
-				prev := t.leftPtrOf(th, n, i)
-				k2 := t.keyAt(th, n, i)
-				if k1 == key && k2 == key && p != prev {
-					box, found = p, true
-					break
+				for j := top; j >= 0; {
+					k, p := ln[2*j], ln[2*j+1]
+					if p == 0 || k != key {
+						j--
+						continue
+					}
+					k1, p2, prev, k2 := t.bracketSlot(th, n, base+j)
+					if k1 != key || k1 != k2 {
+						th.LoadLineRev(t.slotOff(n, base), &ln)
+						continue
+					}
+					if p2 == 0 || p2 == prev {
+						j--
+						continue
+					}
+					box, found = p2, true
+					break scanR
 				}
 			}
 		}
@@ -349,16 +440,29 @@ func (t *BTree) leafFindBinary(th *pmem.Thread, n node, key uint64) (uint64, boo
 
 // --- range scan ------------------------------------------------------------
 
+// scanScratch is the reusable leaf-snapshot buffer pair behind Scan. It is
+// pooled on the tree so steady-state scans allocate nothing.
+type scanScratch struct {
+	keys  []uint64
+	boxes []uint64
+}
+
 // Scan visits key/value pairs with lo <= key <= hi in ascending key order,
 // calling fn for each; fn returning false stops the scan. Under concurrent
-// writes the scan has the paper's read-uncommitted semantics.
+// writes the scan has the paper's read-uncommitted semantics. Steady-state
+// scans are allocation-free: the per-leaf snapshot buffers come from a pool.
 func (t *BTree) Scan(th *pmem.Thread, lo, hi uint64, fn func(key, val uint64) bool) {
 	if hi < lo {
 		return
 	}
+	sc, _ := t.scratch.Get().(*scanScratch)
+	if sc == nil {
+		sc = new(scanScratch)
+	}
+	defer t.scratch.Put(sc)
 	n := t.descendToLeaf(th, lo)
-	var keys []uint64
-	var boxes []uint64
+	keys, boxes := sc.keys, sc.boxes
+	defer func() { sc.keys, sc.boxes = keys, boxes }()
 	last := lo
 	first := true
 	for n.valid() {
@@ -395,40 +499,97 @@ func (t *BTree) Scan(th *pmem.Thread, lo, hi uint64, fn func(key, val uint64) bo
 	}
 }
 
-// leafCollect snapshots a leaf's valid entries in ascending order, with
-// switch-counter revalidation.
+// leafCollect snapshots a leaf's valid entries in ascending order: line
+// snapshots drive the walk — quiescent lines (verified by a double read)
+// yield their entries directly, contended lines fall back to per-word
+// bracket confirmation per slot — and the whole pass is revalidated against
+// the switch counter.
 func (t *BTree) leafCollect(th *pmem.Thread, n node, keys []uint64, boxes []uint64) ([]uint64, []uint64) {
+	var ln, ln2 [pmem.WordsPerLine]uint64
 	for {
 		keys, boxes = keys[:0], boxes[:0]
 		sw := t.switchCtr(th, n)
 		if sw%2 == 0 {
-			for i := 0; i < t.slots; i++ {
-				k1 := t.keyAt(th, n, i)
-				p := t.ptrAt(th, n, i)
-				if p == 0 {
-					break
+			// Each line is read twice; two identical images mean the
+			// line was quiescent across the window, so validity comes
+			// straight from the image with no per-slot brackets. A
+			// word changing and changing back between the reads would
+			// need a delete (shifts move entries monotonically within
+			// one direction; a delete flips the switch counter, which
+			// the revalidation below rejects) or racing in-place value
+			// updates, whose either value is a committed one. A line
+			// caught mid-shift falls back to bracket-confirmed slots.
+			prev := t.leftmost(th, n)
+		scan:
+			for base := 0; base < t.slots; base += slotsPerLine {
+				off := t.slotOff(n, base)
+				th.LoadLine(off, &ln)
+				th.LoadLine(off, &ln2)
+				if ln == ln2 {
+					for j := 0; j < slotsPerLine; j++ {
+						k, p := ln[2*j], ln[2*j+1]
+						if p == 0 {
+							break scan
+						}
+						if p != prev {
+							keys = append(keys, k)
+							boxes = append(boxes, p)
+						}
+						prev = p
+					}
+					continue
 				}
-				prev := t.leftPtrOf(th, n, i)
-				k2 := t.keyAt(th, n, i)
-				if k1 == k2 && p != prev {
-					keys = append(keys, k1)
-					boxes = append(boxes, p)
+				for j := 0; j < slotsPerLine; {
+					k, p := ln2[2*j], ln2[2*j+1]
+					if p == 0 {
+						break scan
+					}
+					if p == prev {
+						j++
+						continue
+					}
+					k1, p2, prevW, k2 := t.bracketSlot(th, n, base+j)
+					if k1 != k || k1 != k2 {
+						th.LoadLine(off, &ln2)
+						if j > 0 {
+							prev = ln2[2*j-1]
+						}
+						continue
+					}
+					if p2 != 0 && p2 != prevW {
+						keys = append(keys, k1)
+						boxes = append(boxes, p2)
+					}
+					prev = p
+					j++
 				}
 			}
 		} else {
 			// Delete direction: scan right to left so a concurrent
 			// left-shift cannot move an entry past us, then reverse.
-			for i := t.scanBound(th, n) - 1; i >= 0; i-- {
-				p := t.ptrAt(th, n, i)
-				if p == 0 {
-					continue
+			last := t.scanBound(th, n) - 1
+			for base := (last / slotsPerLine) * slotsPerLine; base >= 0 && last >= 0; base -= slotsPerLine {
+				th.LoadLineRev(t.slotOff(n, base), &ln)
+				top := slotsPerLine - 1
+				if base+top > last {
+					top = last - base
 				}
-				k1 := t.keyAt(th, n, i)
-				prev := t.leftPtrOf(th, n, i)
-				k2 := t.keyAt(th, n, i)
-				if k1 == k2 && p != prev {
-					keys = append(keys, k1)
-					boxes = append(boxes, p)
+				for j := top; j >= 0; {
+					k, p := ln[2*j], ln[2*j+1]
+					if p == 0 {
+						j--
+						continue
+					}
+					k1, p2, prevW, k2 := t.bracketSlot(th, n, base+j)
+					if k1 != k || k1 != k2 {
+						th.LoadLineRev(t.slotOff(n, base), &ln)
+						continue
+					}
+					if p2 != 0 && p2 != prevW {
+						keys = append(keys, k1)
+						boxes = append(boxes, p2)
+					}
+					j--
 				}
 			}
 			for i, j := 0, len(keys)-1; i < j; i, j = i+1, j-1 {

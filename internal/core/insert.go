@@ -81,14 +81,18 @@ func (t *BTree) moveRightLocked(th *pmem.Thread, n node, key uint64) node {
 
 // findPosLocked returns the slot of key in the latched node, or -1. Under
 // the latch (and after fixNodeLocked) every entry before the terminator is
-// valid, so a plain scan suffices.
+// valid, so a plain line-granular scan suffices — no brackets needed.
 func (t *BTree) findPosLocked(th *pmem.Thread, n node, key uint64) int {
-	for i := 0; i < t.slots; i++ {
-		if t.ptrAt(th, n, i) == 0 {
-			return -1
-		}
-		if t.keyAt(th, n, i) == key {
-			return i
+	var ln [pmem.WordsPerLine]uint64
+	for base := 0; base < t.slots; base += slotsPerLine {
+		th.LoadLine(t.slotOff(n, base), &ln)
+		for j := 0; j < slotsPerLine; j++ {
+			if ln[2*j+1] == 0 {
+				return -1
+			}
+			if ln[2*j] == key {
+				return base + j
+			}
 		}
 	}
 	return -1

@@ -43,6 +43,18 @@ import (
 // Record i's key is valid iff ptr(i-1) != ptr(i), where ptr(-1) is the
 // leftmost word. FAST's shifts are ordered so that at every instant exactly
 // the committed keys are valid.
+//
+// The layout is deliberately line-granular, and the read path exploits it:
+// the header fills exactly one 64-byte cache line, the record area is a
+// whole number of lines (NodeSize is a multiple of pmem.LineSize), and each
+// record line holds slotsPerLine complete (key, ptr) slots — no slot ever
+// straddles a line. In-node search therefore snapshots whole lines
+// (pmem.Thread.LoadLine: one latency charge and one batched stats update
+// per line, the cost real hardware pays for a line fill) and falls back to
+// per-word loads only to confirm candidate slots under the double-read +
+// duplicate-pointer bracket. This is the access pattern the paper's
+// accounting assumes: clflush counts write-back lines, and serial line
+// accesses — not word loads — stand in for effective LLC misses.
 const (
 	offMeta     = 0
 	offLeftmost = 8
@@ -53,6 +65,11 @@ const (
 	offLowKey   = 48
 	headerBytes = 64
 	recordBytes = 16
+
+	// slotsPerLine is the number of record slots per cache line. The
+	// header is exactly one line and NodeSize is a multiple of the line
+	// size, so every record line is fully occupied by whole slots.
+	slotsPerLine = pmem.LineSize / recordBytes
 
 	metaLevelMask = 0xffff
 	metaDeleted   = uint64(1) << 16
@@ -139,18 +156,15 @@ func (t *BTree) leftPtrOf(th *pmem.Thread, n node, i int) uint64 {
 // transient state) and returns the number of record slots in use.
 func (t *BTree) count(th *pmem.Thread, n node) int {
 	// The hint is exact while the node is locked by us, but cheap to
-	// verify; fall back to a scan when it disagrees (post-crash).
+	// verify; fall back to a line-granular scan when it disagrees
+	// (post-crash).
 	h := t.lastIdxHint(th, n)
 	if h >= 0 && h <= t.maxEntries {
 		if (h == 0 || t.ptrAt(th, n, h-1) != 0) && t.ptrAt(th, n, h) == 0 {
 			return h
 		}
 	}
-	i := 0
-	for i < t.slots && t.ptrAt(th, n, i) != 0 {
-		i++
-	}
-	return i
+	return t.scanBound(th, n)
 }
 
 // leafSentinel is the odd pseudo-pointer a leaf uses as its leftmost word.

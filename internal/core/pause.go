@@ -1,0 +1,37 @@
+package core
+
+import "runtime"
+
+// Spinlock backoff tuning. The first pauseActiveSpins iterations busy-wait
+// with exponentially growing cost — cheap enough to win when the holder
+// releases within its short critical section (FAST's in-node work is a few
+// dozen stores) — after which every iteration yields the processor, so
+// waiters on an oversubscribed machine stop burning the cycles the lock
+// holder needs to finish.
+const (
+	pauseActiveSpins = 16
+	pauseMaxCycles   = 64
+)
+
+// pause backs off a spinlock loop after the spins-th failed acquisition
+// attempt: escalating busy-wait first, runtime.Gosched beyond.
+func pause(spins int) {
+	if spins < pauseActiveSpins {
+		n := 2 << uint(spins)
+		if n > pauseMaxCycles {
+			n = pauseMaxCycles
+		}
+		spinWait(n)
+		return
+	}
+	runtime.Gosched()
+}
+
+// spinWait burns roughly n cycles. It is kept out of line so the compiler
+// cannot delete the empty loop at a call site.
+//
+//go:noinline
+func spinWait(n int) {
+	for i := 0; i < n; i++ {
+	}
+}

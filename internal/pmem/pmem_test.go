@@ -199,6 +199,85 @@ func TestLatencyCharging(t *testing.T) {
 	}
 }
 
+func TestLoadLine(t *testing.T) {
+	p := newTestPool(t, Config{})
+	th := p.NewThread()
+	off, _ := p.Alloc(128, 64)
+	for i := int64(0); i < 16; i++ {
+		th.Store(off+i*8, uint64(100+i))
+	}
+	var ln [WordsPerLine]uint64
+	th.LoadLine(off, &ln)
+	for i, got := range ln {
+		if want := uint64(100 + i); got != want {
+			t.Errorf("LoadLine word %d = %d, want %d", i, got, want)
+		}
+	}
+	// An unaligned offset loads the line containing it.
+	var ln2 [WordsPerLine]uint64
+	th.LoadLine(off+64+24, &ln2)
+	for i, got := range ln2 {
+		if want := uint64(108 + i); got != want {
+			t.Errorf("LoadLine(+24) word %d = %d, want %d", i, got, want)
+		}
+	}
+	var rev [WordsPerLine]uint64
+	th.LoadLineRev(off, &rev)
+	if rev != ln {
+		t.Errorf("LoadLineRev = %v, want %v", rev, ln)
+	}
+}
+
+func TestLoadLineAccounting(t *testing.T) {
+	p := newTestPool(t, Config{ReadLatency: 50 * time.Microsecond})
+	th := p.NewThread()
+	off, _ := p.Alloc(1<<16, 64)
+
+	// One LoadLine = 8 word loads, one charged line (cold).
+	big := off + 32768 // far from anything touched so the line is cold
+	th.resetCache()
+	th.Stats = Stats{}
+	var ln [WordsPerLine]uint64
+	th.LoadLine(big, &ln)
+	if th.Stats.Loads != WordsPerLine {
+		t.Errorf("Loads = %d, want %d", th.Stats.Loads, WordsPerLine)
+	}
+	if th.Stats.ChargedReads != 1 {
+		t.Errorf("ChargedReads = %d, want 1", th.Stats.ChargedReads)
+	}
+
+	// Re-reading the same line (any direction) charges nothing further.
+	th.LoadLine(big, &ln)
+	th.LoadLineRev(big, &ln)
+	if th.Stats.ChargedReads != 1 {
+		t.Errorf("hot-line ChargedReads = %d, want 1", th.Stats.ChargedReads)
+	}
+	if th.Stats.Loads != 3*WordsPerLine {
+		t.Errorf("Loads = %d, want %d", th.Stats.Loads, 3*WordsPerLine)
+	}
+
+	// A sequential line walk charges only the first line, like the
+	// per-word prefetcher model.
+	th.resetCache()
+	th.Stats = Stats{}
+	for i := int64(0); i < 16; i++ {
+		th.LoadLine(off+i*LineSize, &ln)
+	}
+	if th.Stats.ChargedReads != 1 {
+		t.Errorf("sequential LoadLine ChargedReads = %d, want 1", th.Stats.ChargedReads)
+	}
+
+	// LoadLine and per-word Load agree on the latency-model state: a word
+	// load after LoadLine of its line is free.
+	th.resetCache()
+	th.Stats = Stats{}
+	th.LoadLine(big+4096, &ln)
+	th.Load(big + 4096 + 16)
+	if th.Stats.ChargedReads != 1 {
+		t.Errorf("word-after-line ChargedReads = %d, want 1", th.Stats.ChargedReads)
+	}
+}
+
 func TestFlushStallAttribution(t *testing.T) {
 	p := newTestPool(t, Config{WriteLatency: 200 * time.Microsecond})
 	th := p.NewThread()

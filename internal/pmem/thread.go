@@ -140,6 +140,49 @@ func (t *Thread) Load(off int64) uint64 {
 	return t.p.rawLoad(off)
 }
 
+// WordsPerLine is the number of 8-byte words in one cache line.
+const WordsPerLine = LineSize / WordSize
+
+// LoadLine performs a latency-modelled read of the whole cache line holding
+// off, depositing its 8 words into dst in ascending address order. Each word
+// is read atomically (the snapshot is word-atomic, not line-atomic: a
+// concurrent writer may be observed mid-line, exactly as a per-word ascending
+// scan would observe it). The line is charged once — one latency-model
+// lookup, at most one ChargedReads increment — and the word loads are
+// counted in batch, so Stats.Loads still reflects words read while
+// ChargedReads keeps its one-per-serial-line meaning.
+//
+// Line-granular readers (the FAST+FAIR in-node search) use LoadLine for the
+// scan and fall back to per-word Loads only to confirm candidate hits.
+func (t *Thread) LoadLine(off int64, dst *[WordsPerLine]uint64) {
+	t.Stats.Loads += WordsPerLine
+	line := off / LineSize
+	if t.p.cfg.ReadLatency > 0 {
+		t.chargeRead(line)
+	}
+	w := line * WordsPerLine
+	for i := range dst {
+		dst[i] = atomic.LoadUint64(&t.p.words[w+int64(i)])
+	}
+}
+
+// LoadLineRev is LoadLine with the words read in descending address order.
+// Right-to-left scans (the FAST+FAIR delete-direction protocol) need the
+// descending order: an entry shifting left between two word reads must be
+// seen at its old slot or its new one, which only holds when the reader's
+// word order opposes the writer's shift order.
+func (t *Thread) LoadLineRev(off int64, dst *[WordsPerLine]uint64) {
+	t.Stats.Loads += WordsPerLine
+	line := off / LineSize
+	if t.p.cfg.ReadLatency > 0 {
+		t.chargeRead(line)
+	}
+	w := line * WordsPerLine
+	for i := WordsPerLine - 1; i >= 0; i-- {
+		dst[i] = atomic.LoadUint64(&t.p.words[w+int64(i)])
+	}
+}
+
 // chargeRead implements the serial-access read model: an access to the same
 // or the next cache line is free (prefetcher / open row), an access to a
 // line whose tag is resident in the thread's simulated cache is free, and

@@ -29,10 +29,22 @@ type conn struct {
 	nc       net.Conn
 	draining chan struct{} // closed by beginDrain
 	drainSet sync.Once
+
+	// scanBufs recycles Scan response pair buffers between the workers
+	// (serve fills one per Scan) and the writer (writeLoop returns it
+	// after encoding), keeping the steady-state Scan path allocation-free.
+	// A channel rather than a sync.Pool: handing a slice through a
+	// buffered channel boxes nothing.
+	scanBufs chan []wire.KV
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
-	return &conn{srv: s, nc: nc, draining: make(chan struct{})}
+	return &conn{
+		srv:      s,
+		nc:       nc,
+		draining: make(chan struct{}),
+		scanBufs: make(chan []wire.KV, respQueue),
+	}
 }
 
 // beginDrain stops the reader: it marks the connection draining and kicks
@@ -144,6 +156,7 @@ func (c *conn) writeLoop(resps <-chan wire.Response) {
 	broken := false
 	for resp := range resps {
 		if broken {
+			c.recycleScanBuf(&resp)
 			continue
 		}
 		var err error
@@ -156,6 +169,9 @@ func (c *conn) writeLoop(resps <-chan wire.Response) {
 				Status: wire.StatusErr, Msg: err.Error(),
 			})
 		}
+		// The pair buffer is encoded into buf now; hand it back to the
+		// workers for the next Scan.
+		c.recycleScanBuf(&resp)
 		if _, err := bw.Write(buf); err != nil {
 			broken = true
 			continue
@@ -170,6 +186,20 @@ func (c *conn) writeLoop(resps <-chan wire.Response) {
 	if !broken {
 		bw.Flush()
 	}
+}
+
+// recycleScanBuf returns a Scan response's pair buffer to the connection's
+// recycle channel once the response no longer needs it (encoded or dropped).
+// If the channel is full the buffer is simply left to the GC.
+func (c *conn) recycleScanBuf(resp *wire.Response) {
+	if resp.Op != wire.OpScan || resp.Pairs == nil {
+		return
+	}
+	select {
+	case c.scanBufs <- resp.Pairs[:0]:
+	default:
+	}
+	resp.Pairs = nil
 }
 
 // serve executes one request against the worker's session and shapes the
@@ -224,13 +254,18 @@ func (c *conn) serve(ss *store.Session, req *wire.Request) wire.Response {
 		if req.Max != 0 && int(req.Max) < max {
 			max = int(req.Max)
 		}
-		pairs := make([]wire.KV, 0, min(max, 256))
-		err := ss.Scan(req.Lo, req.Hi, func(k, v uint64) bool {
-			pairs = append(pairs, wire.KV{Key: k, Val: v})
-			return len(pairs) < max
-		})
+		kvs, err := ss.ScanLimit(req.Lo, req.Hi, max)
 		if err != nil {
 			return fail(err)
+		}
+		var pairs []wire.KV
+		select {
+		case pairs = <-c.scanBufs:
+			pairs = pairs[:0]
+		default:
+		}
+		for _, kv := range kvs {
+			pairs = append(pairs, wire.KV{Key: kv.Key, Val: kv.Val})
 		}
 		resp.Pairs = pairs
 	case wire.OpStats:

@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that the race detector is active; exact allocation
+// assertions are skipped because instrumentation allocates on its own.
+const raceEnabled = true

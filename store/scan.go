@@ -69,6 +69,87 @@ func (ss *Session) Scan(lo, hi uint64, fn func(key, val uint64) bool) error {
 	return nil
 }
 
+// ScanLimit collects at most max pairs with lo <= key <= hi in ascending
+// global key order and returns them in a session-owned slice, valid until
+// the next ScanLimit on the same session. It is the bounded, allocation-free
+// counterpart to Scan, built for the server's paged Scan requests: each
+// shard's range is collected sequentially (capped at max pairs per shard)
+// into buffers the session reuses, then the sorted per-shard runs are merged
+// with cursors — no goroutines, no channels, and in steady state no heap
+// allocations. The trade against the streaming Scan is over-collection:
+// because any shard alone could hold the max globally-smallest keys, up to
+// shards x max pairs are read to return max, so ScanLimit suits the
+// page-sized limits the server issues, while unbounded iteration belongs on
+// Scan. Buffers beyond scanRetainCap are released after the merge, so one
+// huge request does not pin its high-water memory on the session. Per shard
+// the collection has the paper's read-uncommitted semantics, like Scan. On
+// a closed store it returns ErrClosed.
+func (ss *Session) ScanLimit(lo, hi uint64, max int) ([]KV, error) {
+	if hi < lo || max <= 0 {
+		return nil, nil
+	}
+	if !ss.s.acquire() {
+		return nil, ErrClosed
+	}
+	defer ss.s.release()
+	n := len(ss.ths)
+	if ss.scanBufs == nil {
+		// First use: build the per-shard collector closures once, so
+		// later calls create no func values.
+		ss.scanBufs = make([][]KV, n)
+		ss.scanCur = make([]int, n)
+		ss.collect = make([]func(uint64, uint64) bool, n)
+		for i := range ss.collect {
+			i := i
+			ss.collect[i] = func(k, v uint64) bool {
+				ss.scanBufs[i] = append(ss.scanBufs[i], KV{k, v})
+				return len(ss.scanBufs[i]) < ss.scanMax
+			}
+		}
+	}
+	ss.scanMax = max
+	for i := 0; i < n; i++ {
+		ss.scanBufs[i] = ss.scanBufs[i][:0]
+		ss.s.shards[i].ix.Scan(ss.ths[i], lo, hi, ss.collect[i])
+	}
+	// Merge the sorted per-shard runs by repeated minimum selection; shard
+	// counts are small enough that a heap would cost more than it saves.
+	out := ss.scanOut[:0]
+	cur := ss.scanCur
+	for i := range cur {
+		cur[i] = 0
+	}
+	for len(out) < max {
+		best := -1
+		for i := 0; i < n; i++ {
+			if cur[i] < len(ss.scanBufs[i]) &&
+				(best < 0 || ss.scanBufs[i][cur[i]].Key < ss.scanBufs[best][cur[best]].Key) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, ss.scanBufs[best][cur[best]])
+		cur[best]++
+	}
+	ss.scanOut = out
+	for i := range ss.scanBufs {
+		if cap(ss.scanBufs[i]) > scanRetainCap {
+			ss.scanBufs[i] = nil
+		}
+	}
+	if cap(ss.scanOut) > scanRetainCap {
+		ss.scanOut = nil // out itself stays alive with the caller
+	}
+	return out, nil
+}
+
+// scanRetainCap bounds the pairs a session keeps cached per ScanLimit
+// buffer between calls (64 KiB each at 16 B/pair). Typical server pages
+// stay allocation-free; a one-off huge scan gives its memory back.
+const scanRetainCap = 4096
+
 // scanBuf is the per-shard stream buffer; deep enough to keep producers
 // running ahead of the merge, shallow enough that an early stop wastes
 // little work.

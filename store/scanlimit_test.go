@@ -1,0 +1,99 @@
+package store
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestScanLimitMatchesScan(t *testing.T) {
+	st := openTest(t, 4)
+	ss := st.NewSession()
+	defer ss.Close()
+
+	keys := testKeys(5000, 11)
+	for _, k := range keys {
+		if err := ss.Put(k, k^0xfeed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([]uint64{}, keys...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	lo, hi := sorted[100], sorted[4200]
+	var want []KV
+	if err := ss.Scan(lo, hi, func(k, v uint64) bool {
+		want = append(want, KV{k, v})
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ss.ScanLimit(lo, hi, len(want)+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ScanLimit returned %d pairs, Scan %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: ScanLimit %v, Scan %v", i, got[i], want[i])
+		}
+	}
+
+	// The limit truncates the globally smallest max pairs, in order.
+	part, err := ss.ScanLimit(lo, hi, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != 37 {
+		t.Fatalf("ScanLimit(37) returned %d pairs", len(part))
+	}
+	for i := range part {
+		if part[i] != want[i] {
+			t.Fatalf("limited pair %d: got %v, want %v", i, part[i], want[i])
+		}
+	}
+
+	if out, err := ss.ScanLimit(hi, lo, 10); err != nil || out != nil {
+		t.Fatalf("inverted range = (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestScanLimitSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the contract is checked in non-race runs")
+	}
+	st := openTest(t, 4)
+	ss := st.NewSession()
+	defer ss.Close()
+	keys := testKeys(3000, 12)
+	for _, k := range keys {
+		if err := ss.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm up: sizes the session buffers and builds the collectors.
+	if _, err := ss.ScanLimit(0, ^uint64(0), 256); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		out, err := ss.ScanLimit(0, ^uint64(0), 256)
+		if err != nil || len(out) != 256 {
+			t.Fatalf("ScanLimit = (%d pairs, %v)", len(out), err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ScanLimit allocs/op = %v, want 0", allocs)
+	}
+}
+
+func TestScanLimitClosedStore(t *testing.T) {
+	st := openTest(t, 2)
+	ss := st.NewSession()
+	defer ss.Close()
+	st.Close()
+	if _, err := ss.ScanLimit(0, ^uint64(0), 10); err != ErrClosed {
+		t.Fatalf("ScanLimit on closed store: %v, want ErrClosed", err)
+	}
+}

@@ -14,6 +14,17 @@ import "repro/internal/pmem"
 type Session struct {
 	s   *Store
 	ths []*pmem.Thread
+
+	// ScanLimit's reusable state: per-shard collection buffers, their
+	// merge cursors, the pre-built per-shard collector closures, the
+	// current per-shard pair cap, and the merged output buffer. All lazily
+	// sized on first use and reused so steady-state bounded scans are
+	// allocation-free.
+	scanBufs [][]KV
+	scanCur  []int
+	collect  []func(uint64, uint64) bool
+	scanMax  int
+	scanOut  []KV
 }
 
 // NewSession returns a fresh Session bound to the calling goroutine. It may
