@@ -22,6 +22,9 @@ import (
 // KV is one key-value pair, aliased from the wire layer.
 type KV = wire.KV
 
+// VKV is one key / byte-string value pair, aliased from the wire layer.
+type VKV = wire.VKV
+
 // Errors surfaced by the client. Server-reported failures are *RemoteError.
 var (
 	// ErrConnClosed reports a call issued on (or cut short by) a closed
@@ -378,6 +381,58 @@ func (c *Conn) Scan(lo, hi uint64, max int) ([]KV, error) {
 		return nil, err
 	}
 	return call.Resp.Pairs, nil
+}
+
+// GetBytesAsync issues a pipelined GetV (varlen Get).
+func (c *Conn) GetBytesAsync(key uint64) *Call {
+	return c.start(wire.Request{Op: wire.OpGetV, Key: key})
+}
+
+// GetBytes returns the byte-string value stored under key on the server.
+// The returned slice is owned by the caller. Reading a key written through
+// the fixed-width Put API fails with a *RemoteError.
+func (c *Conn) GetBytes(key uint64) ([]byte, bool, error) {
+	call := c.GetBytesAsync(key)
+	if err := call.Wait(); err != nil {
+		return nil, false, err
+	}
+	return call.Resp.VVal, call.Resp.Status == wire.StatusOK, nil
+}
+
+// PutBytesAsync issues a pipelined PutV (varlen Put). val must not exceed
+// wire.MaxValue; it is captured by reference, so the caller must not
+// mutate it until the call completes.
+func (c *Conn) PutBytesAsync(key uint64, val []byte) *Call {
+	return c.start(wire.Request{Op: wire.OpPutV, Key: key, VVal: val})
+}
+
+// PutBytes stores val as a byte-string value under key on the server. When
+// it returns nil the value is durable in the store's persistence model.
+func (c *Conn) PutBytes(key uint64, val []byte) error {
+	return c.PutBytesAsync(key, val).Wait()
+}
+
+// ScanBytesAsync issues a pipelined ScanV for lo <= key <= hi, returning
+// at most max pairs (0 = the server's cap).
+func (c *Conn) ScanBytesAsync(lo, hi uint64, max int) *Call {
+	m := uint32(0)
+	if max > 0 && max <= wire.MaxPairs {
+		m = uint32(max)
+	}
+	return c.start(wire.Request{Op: wire.OpScanV, Lo: lo, Hi: hi, Max: m})
+}
+
+// ScanBytes returns varlen pairs with lo <= key <= hi in ascending key
+// order. Pages are bounded twice over — by max (or the server's pair cap)
+// and by the response frame budget — so a result set at either bound may
+// be a truncation; page with lo = lastKey+1 to continue. The pairs' value
+// slices share one allocation owned by the caller.
+func (c *Conn) ScanBytes(lo, hi uint64, max int) ([]VKV, error) {
+	call := c.ScanBytesAsync(lo, hi, max)
+	if err := call.Wait(); err != nil {
+		return nil, err
+	}
+	return call.Resp.VPairs, nil
 }
 
 // StatsAsync issues a pipelined Stats request.

@@ -76,5 +76,16 @@ func (p *Pool) PutBatch(pairs []KV) error { return p.Conn().PutBatch(pairs) }
 // Scan round-robins a Scan.
 func (p *Pool) Scan(lo, hi uint64, max int) ([]KV, error) { return p.Conn().Scan(lo, hi, max) }
 
+// GetBytes round-robins a varlen Get.
+func (p *Pool) GetBytes(key uint64) ([]byte, bool, error) { return p.Conn().GetBytes(key) }
+
+// PutBytes round-robins a varlen Put.
+func (p *Pool) PutBytes(key uint64, val []byte) error { return p.Conn().PutBytes(key, val) }
+
+// ScanBytes round-robins a varlen Scan.
+func (p *Pool) ScanBytes(lo, hi uint64, max int) ([]VKV, error) {
+	return p.Conn().ScanBytes(lo, hi, max)
+}
+
 // Stats round-robins a Stats fetch.
 func (p *Pool) Stats() (wire.Stats, error) { return p.Conn().Stats() }

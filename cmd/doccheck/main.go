@@ -1,0 +1,143 @@
+// Command doccheck validates the repository's markdown documentation so
+// docs rot fails CI instead of readers.
+//
+// Usage:
+//
+//	doccheck FILE.md [FILE.md ...]
+//
+// For every `[text](target)` link in the given files it checks:
+//
+//   - relative file targets resolve to an existing file or directory
+//     (relative to the markdown file's own location);
+//   - `#anchor` fragments — in-file or on a relative target — match a
+//     heading in the destination file, using GitHub's slug rules
+//     (lowercase, spaces to dashes, punctuation dropped);
+//   - http(s) targets are syntax-checked only (no network in CI).
+//
+// It exits nonzero listing every broken link. Code snippets in docs are
+// kept honest separately: the examples/ programs are built and run by the
+// same CI job.
+package main
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links, skipping images. Nested brackets
+// in the text are rare in these docs and not supported.
+var linkRe = regexp.MustCompile(`(^|[^!])\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// codeFenceRe strips fenced code blocks so links and headings inside
+// them are not parsed.
+var codeFenceRe = regexp.MustCompile("(?ms)^```.*?^```[ \t]*$")
+
+// slug converts a heading to a GitHub-style anchor slug.
+func slug(heading string) string {
+	// Drop inline code/links markup, then non-alphanumerics.
+	h := strings.ToLower(strings.TrimSpace(heading))
+	h = regexp.MustCompile(`\[([^\]]*)\]\([^)]*\)`).ReplaceAllString(h, "$1")
+	h = strings.ReplaceAll(h, "`", "")
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf returns the heading slugs of a markdown file.
+func anchorsOf(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := codeFenceRe.ReplaceAllString(string(data), "")
+	anchors := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(text, -1) {
+		anchors[slug(m[1])] = true
+	}
+	return anchors, nil
+}
+
+// checkFile validates every link in one markdown file, returning problem
+// descriptions.
+func checkFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	text := codeFenceRe.ReplaceAllString(string(data), "")
+	var problems []string
+	for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+		target := m[2]
+		switch {
+		case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
+			if _, err := url.Parse(target); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: bad URL %q: %v", path, target, err))
+			}
+			continue
+		case strings.HasPrefix(target, "mailto:"):
+			continue
+		}
+		file, frag, _ := strings.Cut(target, "#")
+		dest := path
+		if file != "" {
+			dest = filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(dest); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q: %s does not exist", path, target, dest))
+				continue
+			}
+		}
+		if frag == "" {
+			continue
+		}
+		if !strings.HasSuffix(dest, ".md") {
+			continue // anchors into non-markdown targets are not checked
+		}
+		anchors, err := anchorsOf(dest)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("%s: cannot read %s: %v", path, dest, err))
+			continue
+		}
+		if !anchors[frag] {
+			problems = append(problems, fmt.Sprintf("%s: broken anchor %q: no heading #%s in %s", path, target, frag, dest))
+		}
+	}
+	return problems, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		problems, err := checkFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("doccheck: %d broken link(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: %d file(s) clean\n", len(os.Args)-1)
+}

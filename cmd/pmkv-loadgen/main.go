@@ -9,7 +9,7 @@
 //	pmkv-loadgen [-addr localhost:7841] [-ops 500000] [-clients 32]
 //	             [-conns 4] [-read 0.5] [-mix get=90,put=10]
 //	             [-keys 1000000] [-preload 0] [-scanmax 100]
-//	             [-memprofile heap.pprof]
+//	             [-valsize 0] [-memprofile heap.pprof]
 //
 // -clients 1 -conns 1 is the unpipelined baseline (one request per round
 // trip); raising -clients while holding -conns shows what pipelining buys.
@@ -18,6 +18,11 @@
 // -mix of weighted operations ("get=90,put=10", also accepting delete and
 // scan; weights need not sum to 100). Scans page -scanmax pairs from a
 // random key upward, driving the server's pooled Scan response path.
+//
+// -valsize N switches the workload to the varlen-value ops: puts carry
+// N-byte values (PutV), gets and scans read them back (GetV/ScanV), and
+// reported throughput includes the value payload bytes. N must stay under
+// wire.MaxValue. -valsize 0 (default) drives the fixed-width u64 ops.
 //
 // -memprofile writes a heap profile when the run finishes — the easy check
 // that read-heavy serving stays allocation-quiet end to end.
@@ -39,6 +44,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/wire"
 )
 
 // mixWeights is the parsed -mix flag: relative weights per opcode.
@@ -109,9 +115,11 @@ func main() {
 	keys := flag.Uint64("keys", 1000000, "key space size")
 	preload := flag.Int("preload", 0, "keys to PutBatch before timing (0 = keyspace/4)")
 	scanMax := flag.Int("scanmax", 100, "pairs per scan request in -mix scan ops")
+	valSize := flag.Int("valsize", 0, "value bytes per op: 0 = fixed-width u64 ops, >0 = varlen ops (PutV/GetV/ScanV)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
-	if *clients < 1 || *conns < 1 || *ops < 1 || *keys < 1 || *readFrac < 0 || *readFrac > 1 || *scanMax < 1 {
+	if *clients < 1 || *conns < 1 || *ops < 1 || *keys < 1 || *readFrac < 0 || *readFrac > 1 || *scanMax < 1 ||
+		*valSize < 0 || *valSize > wire.MaxValue {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,14 +145,37 @@ func main() {
 	}
 	if nPre > 0 {
 		rng := rand.New(rand.NewSource(1))
-		batch := make([]client.KV, nPre)
-		for i := range batch {
-			k := rng.Uint64()%*keys + 1
-			batch[i] = client.KV{Key: k, Val: k ^ 0xdead}
-		}
 		t0 := time.Now()
-		if err := pool.PutBatch(batch); err != nil {
-			log.Fatalf("preload: %v", err)
+		if *valSize > 0 {
+			// No varlen batch op: pipeline individual PutV frames.
+			val := make([]byte, *valSize)
+			rng.Read(val)
+			c := pool.Conn()
+			calls := make([]*client.Call, 0, 1024)
+			flush := func() {
+				for _, call := range calls {
+					if err := call.Wait(); err != nil {
+						log.Fatalf("preload: %v", err)
+					}
+				}
+				calls = calls[:0]
+			}
+			for i := 0; i < nPre; i++ {
+				calls = append(calls, c.PutBytesAsync(rng.Uint64()%*keys+1, val))
+				if len(calls) == cap(calls) {
+					flush()
+				}
+			}
+			flush()
+		} else {
+			batch := make([]client.KV, nPre)
+			for i := range batch {
+				k := rng.Uint64()%*keys + 1
+				batch[i] = client.KV{Key: k, Val: k ^ 0xdead}
+			}
+			if err := pool.PutBatch(batch); err != nil {
+				log.Fatalf("preload: %v", err)
+			}
 		}
 		fmt.Printf("preloaded %d keys in %v\n", nPre, time.Since(t0).Round(time.Millisecond))
 	}
@@ -164,20 +195,33 @@ func main() {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(g) + 100))
 			c := pool.Conn() // pin a connection; many goroutines share each
+			var val []byte
+			if *valSize > 0 {
+				val = make([]byte, *valSize)
+				rng.Read(val)
+			}
 			my := make([]time.Duration, 0, perG)
 			for i := 0; i < perG; i++ {
 				k := rng.Uint64()%*keys + 1
 				op := mix.pick(rng.Intn(total))
 				start := time.Now()
 				var err error
-				switch op {
-				case "get":
+				switch {
+				case op == "get" && *valSize > 0:
+					_, _, err = c.GetBytes(k)
+				case op == "get":
 					_, _, err = c.Get(k)
-				case "put":
+				case op == "put" && *valSize > 0:
+					err = c.PutBytes(k, val)
+				case op == "put":
 					err = c.Put(k, k^0xbeef)
-				case "delete":
+				case op == "delete":
 					_, err = c.Delete(k)
-				case "scan":
+				case op == "scan" && *valSize > 0:
+					var pairs []client.VKV
+					pairs, err = c.ScanBytes(k, ^uint64(0), *scanMax)
+					scanned.Add(uint64(len(pairs)))
+				case op == "scan":
 					var pairs []client.KV
 					pairs, err = c.Scan(k, ^uint64(0), *scanMax)
 					scanned.Add(uint64(len(pairs)))
@@ -218,10 +262,16 @@ func main() {
 		if mix.scan > 0 {
 			fmt.Printf(", %d pairs scanned", scanned.Load())
 		}
+		if *valSize > 0 {
+			fmt.Printf(", varlen %d B values", *valSize)
+		}
 		fmt.Println()
 	} else {
-		fmt.Printf("config: %d clients over %d conns, %.0f%% reads, keyspace %d\n",
-			*clients, *conns, *readFrac*100, *keys)
+		fmt.Printf("config: %d clients over %d conns, %.0f%% reads, keyspace %d", *clients, *conns, *readFrac*100, *keys)
+		if *valSize > 0 {
+			fmt.Printf(", varlen %d B values", *valSize)
+		}
+		fmt.Println()
 	}
 
 	if stats, err := pool.Stats(); err == nil {

@@ -1,0 +1,500 @@
+// Package vlog is a crash-consistent, append-only value log in simulated
+// persistent memory: the indirection layer that gives the 8-byte FAST+FAIR
+// tree variable-length values without touching its failure-atomicity
+// argument. The tree keeps storing one uint64 per key; for byte-string
+// values that word is a Ref — a packed (offset, length) pointer into this
+// log — following the pointer-into-PM reading of values the paper itself
+// uses (§3) and the log-structured value separation of WiscKey/Badger.
+//
+// # Persistence protocol
+//
+// A record is published in three ordered steps, all within the hardware
+// contract the emulator models (8-byte failure-atomic stores, explicit
+// cache-line write-back, store fencing):
+//
+//  1. The payload words and the record header (length+1 and a CRC-32C of
+//     the payload packed into one 8-byte word) are stored and flushed.
+//  2. A store fence orders the record ahead of its publication (free on
+//     TSO, a dmb on NonTSO).
+//  3. The log tail — a single 8-byte word in the log header line — is
+//     advanced over the record with one atomic store and flushed.
+//
+// The tail store is the commit point: a crash before it leaves the record
+// bytes beyond the persisted tail, where they are unreachable garbage; a
+// crash after it leaves a fully-flushed record below the tail. No crash can
+// expose a torn record through a published tail.
+//
+// # Recovery
+//
+// Open re-attaches to a log image and eagerly repairs it: it walks the
+// extent chain, bounds-checks the persisted tail, rewinds it into the last
+// extent if a crash interrupted extent growth, truncates the torn or
+// unpublished record at the tail (zeroing its header word so later scans
+// terminate there), and then validates every published record's header and
+// checksum from the beginning of the log. Validation failures below the
+// tail — impossible under the publish protocol, but checked anyway —
+// truncate the log at the first bad record.
+//
+// # Space
+//
+// Records live in a chain of fixed-size extents allocated from the pool on
+// demand (oversized values get an extent of their own). The log is strictly
+// append-only: overwriting or deleting a key in the layer above turns the
+// old record into garbage that stays on the device until a future
+// compaction pass; Garbage/Live accounting for that pass is out of scope
+// here and tracked by the caller if needed.
+package vlog
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/pmem"
+)
+
+// MaxValue is the largest payload one record may carry, bounded by the
+// Ref encoding (24 bits of length).
+const MaxValue = 1<<24 - 1
+
+// maxOffset bounds record offsets to the 40 bits a Ref reserves for them
+// (1 TiB — far above any simulated pool).
+const maxOffset = 1 << 40
+
+// Errors returned by the log.
+var (
+	// ErrTooLarge reports an Append payload above MaxValue.
+	ErrTooLarge = errors.New("vlog: value exceeds MaxValue")
+	// ErrBadRef reports a Ref that does not name a published record: out
+	// of bounds, misaligned, or with a header that disagrees with the
+	// Ref's length. Fixed-width tree values read as refs fail with this.
+	ErrBadRef = errors.New("vlog: ref does not name a valid record")
+	// ErrCorrupt reports a record whose payload fails its checksum, or a
+	// log image whose header or extent chain is unreadable.
+	ErrCorrupt = errors.New("vlog: corrupt log")
+	// ErrFull wraps pmem.ErrOutOfMemory when the pool cannot hold a new
+	// extent.
+	ErrFull = errors.New("vlog: pool exhausted")
+)
+
+// Ref names one published record: the arena offset of its header word in
+// the low 40 bits and the payload length in the high 24. The zero Ref is
+// never valid (offset 0 is the pool's NULL).
+type Ref uint64
+
+// MakeRef packs an offset and length; exported for tests.
+func MakeRef(off int64, n int) Ref { return Ref(uint64(off) | uint64(n)<<40) }
+
+// Off returns the arena offset of the record header.
+func (r Ref) Off() int64 { return int64(r & (maxOffset - 1)) }
+
+// Len returns the payload length in bytes.
+func (r Ref) Len() int { return int(uint64(r) >> 40) }
+
+// Log header layout: one cache line anchored at a pool root slot.
+//
+//	word 0: magic | version
+//	word 1: offset of the first extent
+//	word 2: tail — arena offset of the next append (the commit point)
+//	word 3: configured extent size
+//
+// Extent layout: a 16-byte header then record space.
+//
+//	word 0: offset of the next extent (0 = end of chain)
+//	word 1: offset one past the extent (its exclusive end)
+//
+// Record layout: an 8-byte header then the payload, padded to whole words.
+//
+//	header: (payload length + 1) in the low 32 bits, CRC-32C of the
+//	        payload in the high 32. A zero header word terminates the
+//	        record sequence of an extent (extents are allocated zeroed,
+//	        and truncation re-zeroes the header at the tail).
+//
+// The +1 keeps an empty record's header nonzero, so "no record here" and
+// "zero-length record" stay distinguishable.
+const (
+	logMagic   = uint64(0x564c4f47) // "VLOG"
+	logVersion = 1
+
+	hdrMagicWord = 0
+	hdrFirstWord = 1
+	hdrTailWord  = 2
+	hdrExtWord   = 3
+	hdrBytes     = pmem.LineSize
+
+	extHdrBytes = 2 * pmem.WordSize
+
+	// DefaultExtent is the extent size used when Options leave it zero.
+	DefaultExtent = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is a handle on one value log. Appends serialise on an internal
+// (volatile) mutex; reads of published records are lock-free and may run
+// concurrently with appends, because published records are immutable and
+// appends only touch space beyond the tail.
+type Log struct {
+	p      *pmem.Pool
+	hdrOff int64
+
+	mu      sync.Mutex
+	tail    int64 // next append offset (mirrors the persisted tail word)
+	curExt  int64 // extent containing tail
+	curEnd  int64 // curExt's exclusive end
+	first   int64 // first extent in the chain
+	extSize int64
+}
+
+// Create initialises an empty log anchored at the given pool root slot and
+// persists it. extSize is the growth unit in bytes (0 = DefaultExtent);
+// oversized values allocate larger one-off extents.
+func Create(p *pmem.Pool, th *pmem.Thread, slot int, extSize int64) (*Log, error) {
+	if extSize <= 0 {
+		extSize = DefaultExtent
+	}
+	extSize = roundUp(extSize, pmem.LineSize)
+	hdr, err := p.Alloc(hdrBytes, pmem.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFull, err)
+	}
+	l := &Log{p: p, hdrOff: hdr, extSize: extSize}
+	ext, err := l.allocExtent(th, extSize)
+	if err != nil {
+		return nil, err
+	}
+	l.first, l.curExt = ext, ext
+	l.curEnd = ext + extSize
+	l.tail = ext + extHdrBytes
+	th.Store(hdr+hdrFirstWord*pmem.WordSize, uint64(ext))
+	th.Store(hdr+hdrTailWord*pmem.WordSize, uint64(l.tail))
+	th.Store(hdr+hdrExtWord*pmem.WordSize, uint64(extSize))
+	th.Store(hdr+hdrMagicWord*pmem.WordSize, logMagic<<32|logVersion)
+	th.Persist(hdr, hdrBytes)
+	p.SetRoot(th, slot, hdr)
+	return l, nil
+}
+
+// Open re-attaches to the log anchored at slot and runs recovery: the tail
+// is bounds-checked and rewound into the last extent if a crash interrupted
+// growth, the record at the tail (torn or unpublished) is truncated, and
+// every published record is re-validated from the start of the log.
+func Open(p *pmem.Pool, th *pmem.Thread, slot int) (*Log, error) {
+	hdr := p.Root(th, slot)
+	if hdr == 0 {
+		return nil, fmt.Errorf("%w: no log at root slot %d", ErrCorrupt, slot)
+	}
+	magic := th.Load(hdr + hdrMagicWord*pmem.WordSize)
+	if magic>>32 != logMagic || magic&0xffffffff != logVersion {
+		return nil, fmt.Errorf("%w: bad magic %#x at root slot %d", ErrCorrupt, magic, slot)
+	}
+	l := &Log{
+		p:       p,
+		hdrOff:  hdr,
+		first:   int64(th.Load(hdr + hdrFirstWord*pmem.WordSize)),
+		tail:    int64(th.Load(hdr + hdrTailWord*pmem.WordSize)),
+		extSize: int64(th.Load(hdr + hdrExtWord*pmem.WordSize)),
+	}
+	if l.first == 0 || l.extSize <= 0 {
+		return nil, fmt.Errorf("%w: empty extent chain", ErrCorrupt)
+	}
+	if err := l.recover(th); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// recover restores the append invariants after a crash (see Open).
+func (l *Log) recover(th *pmem.Thread) error {
+	// Walk the chain to its last extent, remembering the extent holding
+	// the persisted tail. The chain is bounded by the pool size, so a
+	// corrupt cycle cannot loop forever.
+	var tailExt, tailEnd int64
+	last, lastEnd := int64(0), int64(0)
+	limit := l.p.Size()
+	for ext, hops := l.first, int64(0); ext != 0; hops++ {
+		if ext < 0 || ext+extHdrBytes > limit || hops > limit/extHdrBytes {
+			return fmt.Errorf("%w: extent chain leaves the arena", ErrCorrupt)
+		}
+		end := int64(th.Load(ext + pmem.WordSize))
+		if end <= ext+extHdrBytes || end > limit {
+			return fmt.Errorf("%w: extent %d has end %d", ErrCorrupt, ext, end)
+		}
+		if l.tail >= ext+extHdrBytes && l.tail <= end {
+			tailExt, tailEnd = ext, end
+		}
+		last, lastEnd = ext, end
+		ext = int64(th.Load(ext))
+	}
+	if tailExt == 0 {
+		return fmt.Errorf("%w: tail %d is outside every extent", ErrCorrupt, l.tail)
+	}
+	// A crash between linking a fresh extent and moving the tail leaves
+	// the tail in an earlier extent. Everything at or beyond it is
+	// unpublished; resume in the last extent so the chain order stays the
+	// append order. (The abandoned space was already terminated with a
+	// zero header word by growth, or is truncated just below.)
+	if tailExt != last {
+		l.truncate(th, l.tail, tailEnd)
+		l.tail = last + extHdrBytes
+		l.persistTail(th)
+	}
+	l.curExt, l.curEnd = last, lastEnd
+	// Truncate the record straddling the tail: a torn append, or a
+	// complete one whose publication never landed. Either way nothing
+	// references it.
+	l.truncate(th, l.tail, l.curEnd)
+
+	// Defensive full-log validation: the publish protocol guarantees every
+	// record below the tail is intact, so any failure here means the image
+	// itself is damaged; truncating at the first bad record keeps the
+	// intact prefix serviceable.
+	for ext := l.first; ext != 0; {
+		end := int64(th.Load(ext + pmem.WordSize))
+		pos := ext + extHdrBytes
+		for pos+pmem.WordSize <= end {
+			if ext == l.curExt && pos >= l.tail {
+				break
+			}
+			hdr := th.Load(pos)
+			if hdr == 0 {
+				break // rest of the extent is unused
+			}
+			n := int64(hdr&0xffffffff) - 1
+			rend := pos + pmem.WordSize + roundUp(n, pmem.WordSize)
+			if n < 0 || n > MaxValue || rend > end ||
+				(ext == l.curExt && rend > l.tail) ||
+				l.checksumAt(th, pos+pmem.WordSize, int(n)) != uint32(hdr>>32) {
+				l.tail = pos
+				l.curExt, l.curEnd = ext, end
+				l.truncate(th, pos, end)
+				l.persistTail(th)
+				return nil
+			}
+			pos = rend
+		}
+		if ext == l.curExt {
+			break
+		}
+		ext = int64(th.Load(ext))
+	}
+	return nil
+}
+
+// truncate zeroes and persists the record header at off (when the extent
+// has room for one), so scans terminate there.
+func (l *Log) truncate(th *pmem.Thread, off, end int64) {
+	if off+pmem.WordSize > end {
+		return
+	}
+	th.Store(off, 0)
+	th.Flush(off, pmem.WordSize)
+}
+
+// persistTail publishes l.tail with the fenced 8-byte store that commits
+// appends.
+func (l *Log) persistTail(th *pmem.Thread) {
+	th.StoreFence()
+	off := l.hdrOff + hdrTailWord*pmem.WordSize
+	th.Store(off, uint64(l.tail))
+	th.Flush(off, pmem.WordSize)
+}
+
+// allocExtent carves a zeroed extent of the given size out of the pool and
+// persists its header (next = 0, end = off+size).
+func (l *Log) allocExtent(th *pmem.Thread, size int64) (int64, error) {
+	off, err := l.p.Alloc(size, pmem.LineSize)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrFull, err)
+	}
+	th.Store(off+pmem.WordSize, uint64(off+size))
+	th.Persist(off, extHdrBytes)
+	return off, nil
+}
+
+// Append publishes val as one record and returns its Ref. The record is
+// durable when Append returns; a crash mid-append can only lose the whole
+// record, never expose a torn one. Appends to one Log serialise on its
+// mutex; the pmem traffic is issued through the caller's thread.
+func (l *Log) Append(th *pmem.Thread, val []byte) (Ref, error) {
+	if len(val) > MaxValue {
+		return 0, fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, len(val), MaxValue)
+	}
+	need := pmem.WordSize + roundUp(int64(len(val)), pmem.WordSize)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.tail+need > l.curEnd {
+		if err := l.grow(th, need); err != nil {
+			return 0, err
+		}
+	}
+	off := l.tail
+	if off+need >= maxOffset {
+		return 0, fmt.Errorf("%w: offset exceeds Ref range", ErrFull)
+	}
+	// Step 1: payload words then the header word, flushed together.
+	for i, pos := 0, off+pmem.WordSize; i < len(val); i, pos = i+8, pos+pmem.WordSize {
+		th.Store(pos, packWord(val[i:]))
+	}
+	crc := crc32.Checksum(val, crcTable)
+	th.Store(off, uint64(len(val)+1)|uint64(crc)<<32)
+	th.Flush(off, need)
+	// Steps 2+3: fence, then commit by advancing the tail over the record.
+	l.tail = off + need
+	l.persistTail(th)
+	return MakeRef(off, len(val)), nil
+}
+
+// grow makes room for a record of `need` bytes: it advances into an
+// already-linked next extent (left over from a crashed growth) or allocates
+// and links a fresh one. The abandoned space in the old extent is
+// terminated with a zero header word so scans stop there.
+func (l *Log) grow(th *pmem.Thread, need int64) error {
+	l.truncate(th, l.tail, l.curEnd)
+	next := int64(th.Load(l.curExt))
+	if next == 0 {
+		size := l.extSize
+		if min := need + extHdrBytes; size < min {
+			size = roundUp(min, pmem.LineSize)
+		}
+		ext, err := l.allocExtent(th, size)
+		if err != nil {
+			return err
+		}
+		// Link after the extent header is durable, so recovery never
+		// follows a pointer to uninitialised space.
+		th.StoreFence()
+		th.Store(l.curExt, uint64(ext))
+		th.Flush(l.curExt, pmem.WordSize)
+		next = ext
+	}
+	l.curExt = next
+	l.curEnd = int64(th.Load(next + pmem.WordSize))
+	l.tail = next + extHdrBytes
+	// Publishing the moved tail commits the growth; the record that
+	// triggered it commits separately with its own tail advance.
+	l.persistTail(th)
+	return nil
+}
+
+// Read resolves ref and appends the record's payload to dst, returning the
+// extended slice. It validates the header against the Ref and the payload
+// against its checksum, so a Ref forged from a fixed-width tree value fails
+// with ErrBadRef (or, with negligible probability for a colliding header,
+// ErrCorrupt) instead of returning garbage. Read is lock-free.
+func (l *Log) Read(th *pmem.Thread, ref Ref, dst []byte) ([]byte, error) {
+	off, n := ref.Off(), ref.Len()
+	if off <= 0 || off%pmem.WordSize != 0 || n > MaxValue ||
+		off+pmem.WordSize+roundUp(int64(n), pmem.WordSize) > l.p.Size() {
+		return dst, fmt.Errorf("%w: off %d len %d", ErrBadRef, off, n)
+	}
+	hdr := th.Load(off)
+	if int64(hdr&0xffffffff) != int64(n)+1 {
+		return dst, fmt.Errorf("%w: header disagrees with ref length %d", ErrBadRef, n)
+	}
+	start := len(dst)
+	dst = appendPayload(th, dst, off+pmem.WordSize, n)
+	if crc := crc32.Checksum(dst[start:], crcTable); crc != uint32(hdr>>32) {
+		return dst[:start], fmt.Errorf("%w: checksum mismatch at %d", ErrCorrupt, off)
+	}
+	return dst, nil
+}
+
+// Stats describes a log's space accounting.
+type Stats struct {
+	Records int   // published records
+	Bytes   int64 // payload bytes in published records
+	Used    int64 // bytes consumed by records incl. headers and padding
+	Cap     int64 // bytes available across all allocated extents
+}
+
+// Check walks the whole log, re-validating every published record, and
+// returns the space accounting. It is the testing/diagnostic counterpart
+// of Open's recovery scan.
+func (l *Log) Check(th *pmem.Thread) (Stats, error) {
+	l.mu.Lock()
+	tail, curExt := l.tail, l.curExt
+	l.mu.Unlock()
+	var st Stats
+	for ext := l.first; ext != 0; {
+		end := int64(th.Load(ext + pmem.WordSize))
+		st.Cap += end - ext - extHdrBytes
+		pos := ext + extHdrBytes
+		for pos+pmem.WordSize <= end {
+			if ext == curExt && pos >= tail {
+				break
+			}
+			hdr := th.Load(pos)
+			if hdr == 0 {
+				break
+			}
+			n := int64(hdr&0xffffffff) - 1
+			rend := pos + pmem.WordSize + roundUp(n, pmem.WordSize)
+			if n < 0 || n > MaxValue || rend > end || (ext == curExt && rend > tail) {
+				return st, fmt.Errorf("%w: bad record header at %d", ErrCorrupt, pos)
+			}
+			if l.checksumAt(th, pos+pmem.WordSize, int(n)) != uint32(hdr>>32) {
+				return st, fmt.Errorf("%w: checksum mismatch at %d", ErrCorrupt, pos)
+			}
+			st.Records++
+			st.Bytes += n
+			st.Used += rend - pos
+			pos = rend
+		}
+		if ext == curExt {
+			break
+		}
+		ext = int64(th.Load(ext))
+	}
+	return st, nil
+}
+
+// checksumAt computes the CRC-32C of n payload bytes starting at off.
+func (l *Log) checksumAt(th *pmem.Thread, off int64, n int) uint32 {
+	crc := crc32.Checksum(nil, crcTable)
+	var buf [8]byte
+	for i := 0; i < n; i += 8 {
+		w := th.Load(off + int64(i))
+		for b := 0; b < 8; b++ {
+			buf[b] = byte(w >> (8 * b))
+		}
+		m := n - i
+		if m > 8 {
+			m = 8
+		}
+		crc = crc32.Update(crc, crcTable, buf[:m])
+	}
+	return crc
+}
+
+// packWord packs up to 8 payload bytes into one little-endian word,
+// zero-padding the tail.
+func packWord(b []byte) uint64 {
+	var w uint64
+	n := len(b)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		w |= uint64(b[i]) << (8 * i)
+	}
+	return w
+}
+
+// appendPayload appends n payload bytes stored word-packed at off to dst.
+func appendPayload(th *pmem.Thread, dst []byte, off int64, n int) []byte {
+	for i := 0; i < n; i += 8 {
+		w := th.Load(off + int64(i))
+		m := n - i
+		if m > 8 {
+			m = 8
+		}
+		for b := 0; b < m; b++ {
+			dst = append(dst, byte(w>>(8*b)))
+		}
+	}
+	return dst
+}
+
+func roundUp(v, m int64) int64 { return (v + m - 1) / m * m }

@@ -1,0 +1,255 @@
+package vlog
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+func newPool(tb testing.TB, size int64, track bool) (*pmem.Pool, *pmem.Thread) {
+	tb.Helper()
+	p := pmem.New(pmem.Config{Size: size, TrackCrashes: track})
+	return p, p.NewThread()
+}
+
+func testValue(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(256))
+	}
+	return b
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	p, th := newPool(t, 8<<20, false)
+	l, err := Create(p, th, 5, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Sizes straddle every interesting boundary: empty, sub-word, exact
+	// word, line, and multi-extent.
+	sizes := []int{0, 1, 7, 8, 9, 63, 64, 65, 100, 4000, 5000, 20000}
+	vals := make([][]byte, len(sizes))
+	refs := make([]Ref, len(sizes))
+	for i, n := range sizes {
+		vals[i] = testValue(rng, n)
+		refs[i], err = l.Append(th, vals[i])
+		if err != nil {
+			t.Fatalf("append %d bytes: %v", n, err)
+		}
+		if refs[i].Len() != n {
+			t.Fatalf("ref length %d, want %d", refs[i].Len(), n)
+		}
+	}
+	for i, ref := range refs {
+		got, err := l.Read(th, ref, nil)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, vals[i]) {
+			t.Fatalf("read %d: got %d bytes, want %d", i, len(got), len(vals[i]))
+		}
+	}
+	st, err := l.Check(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != len(sizes) {
+		t.Fatalf("Check records %d, want %d", st.Records, len(sizes))
+	}
+}
+
+func TestReadAppendsToDst(t *testing.T) {
+	p, th := newPool(t, 4<<20, false)
+	l, err := Create(p, th, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := l.Append(th, []byte("world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Read(th, ref, []byte("hello "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestBadRefs(t *testing.T) {
+	p, th := newPool(t, 1<<20, false)
+	l, err := Create(p, th, 5, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := l.Append(th, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		ref  Ref
+	}{
+		{"zero", 0},
+		{"fixed-width value", Ref(42)},
+		{"misaligned", MakeRef(ref.Off()+1, ref.Len())},
+		{"wrong length", MakeRef(ref.Off(), ref.Len()+1)},
+		{"out of bounds", MakeRef(p.Size(), 8)},
+		{"huge length", Ref(uint64(ref) | uint64(MaxValue)<<40)},
+	}
+	for _, tc := range cases {
+		if _, err := l.Read(th, tc.ref, nil); !errors.Is(err, ErrBadRef) {
+			t.Errorf("%s: err = %v, want ErrBadRef", tc.name, err)
+		}
+	}
+	if _, err := l.Append(th, make([]byte, MaxValue+1)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized append: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestOversizedValueGetsOwnExtent(t *testing.T) {
+	p, th := newPool(t, 8<<20, false)
+	l, err := Create(p, th, 5, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := testValue(rand.New(rand.NewSource(2)), 100_000)
+	ref, err := l.Append(th, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Read(th, ref, nil)
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("big read: %v, %d bytes", err, len(got))
+	}
+	// The log keeps working in regular extents afterwards.
+	small, err := l.Append(th, []byte("after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := l.Read(th, small, nil); err != nil || string(got) != "after" {
+		t.Fatalf("small after big: %v %q", err, got)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p, th := newPool(t, 64<<10, false)
+	l, err := Create(p, th, 5, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		if _, lastErr = l.Append(th, make([]byte, 4<<10)); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", lastErr)
+	}
+}
+
+// TestReopenCleanImage closes the loop without a crash: records written,
+// image reopened, every record still readable through its old Ref.
+func TestReopenCleanImage(t *testing.T) {
+	p, th := newPool(t, 8<<20, false)
+	l, err := Create(p, th, 5, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var refs []Ref
+	var vals [][]byte
+	for i := 0; i < 200; i++ {
+		v := testValue(rng, rng.Intn(300))
+		ref, err := l.Append(th, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+		vals = append(vals, v)
+	}
+	re, err := Open(p, th, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ref := range refs {
+		got, err := re.Read(th, ref, nil)
+		if err != nil || !bytes.Equal(got, vals[i]) {
+			t.Fatalf("record %d after reopen: %v", i, err)
+		}
+	}
+	// And it accepts new appends.
+	ref, err := re.Append(th, []byte("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := re.Read(th, ref, nil); err != nil || string(got) != "fresh" {
+		t.Fatalf("fresh append after reopen: %v %q", err, got)
+	}
+}
+
+// TestConcurrentReadersOneAppender exercises the lock-free read contract:
+// published records stay readable, byte-exact, while an appender keeps
+// publishing new ones (and growing extents) on another goroutine.
+func TestConcurrentReadersOneAppender(t *testing.T) {
+	p, _ := newPool(t, 32<<20, false)
+	wth := p.NewThread()
+	l, err := Create(p, wth, 5, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nVals = 500
+	rng := rand.New(rand.NewSource(4))
+	vals := make([][]byte, nVals)
+	for i := range vals {
+		vals[i] = testValue(rng, 16+rng.Intn(200))
+	}
+	refCh := make(chan Ref, nVals)
+	go func() {
+		for _, v := range vals {
+			ref, err := l.Append(wth, v)
+			if err != nil {
+				break
+			}
+			refCh <- ref
+		}
+		close(refCh)
+	}()
+	done := make(chan error, 4)
+	var refs []Ref
+	for ref := range refCh {
+		refs = append(refs, ref)
+		if len(refs)%100 == 0 {
+			snapshot := append([]Ref(nil), refs...)
+			go func() {
+				rth := p.NewThread()
+				var buf []byte
+				for i, ref := range snapshot {
+					var err error
+					buf, err = l.Read(rth, ref, buf[:0])
+					if err != nil {
+						done <- err
+						return
+					}
+					if !bytes.Equal(buf, vals[i]) {
+						done <- errors.New("value mismatch under concurrency")
+						return
+					}
+				}
+				done <- nil
+			}()
+		}
+	}
+	for i := 0; i < nVals/100; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -34,8 +35,28 @@ type conn struct {
 	// (serve fills one per Scan) and the writer (writeLoop returns it
 	// after encoding), keeping the steady-state Scan path allocation-free.
 	// A channel rather than a sync.Pool: handing a slice through a
-	// buffered channel boxes nothing.
+	// buffered channel boxes nothing. varBufs is the same discipline for
+	// the varlen ops' value arenas and pair buffers.
 	scanBufs chan []wire.KV
+	varBufs  chan *varlenBuf
+}
+
+// varlenBuf is the pooled backing store of one varlen response: GetV
+// borrows the arena for its value bytes, ScanV additionally borrows the
+// pair slice (every Val a subslice of the arena) and the per-pair end
+// offsets used to rebuild those subslices after the arena stops growing.
+type varlenBuf struct {
+	pairs []wire.VKV
+	arena []byte
+	ends  []int
+}
+
+// svResp pairs a wire response with the pooled buffers it borrows, so the
+// writer can hand them back to the workers once the response is encoded
+// (or dropped on a broken connection).
+type svResp struct {
+	wire.Response
+	vb *varlenBuf
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -44,6 +65,20 @@ func newConn(s *Server, nc net.Conn) *conn {
 		nc:       nc,
 		draining: make(chan struct{}),
 		scanBufs: make(chan []wire.KV, respQueue),
+		varBufs:  make(chan *varlenBuf, respQueue),
+	}
+}
+
+// takeVarBuf fetches a recycled varlen buffer or makes a fresh one.
+func (c *conn) takeVarBuf() *varlenBuf {
+	select {
+	case vb := <-c.varBufs:
+		vb.pairs = vb.pairs[:0]
+		vb.arena = vb.arena[:0]
+		vb.ends = vb.ends[:0]
+		return vb
+	default:
+		return &varlenBuf{}
 	}
 }
 
@@ -80,7 +115,7 @@ func (c *conn) handle() {
 	defer s.connsLive.Add(-1)
 
 	reqs := make(chan wire.Request, reqQueue)
-	resps := make(chan wire.Response, respQueue)
+	resps := make(chan svResp, respQueue)
 
 	var workers sync.WaitGroup
 	for i := 0; i < s.opts.Workers; i++ {
@@ -114,7 +149,7 @@ func (c *conn) handle() {
 // drain. A malformed frame gets a best-effort error response (when the id
 // survived decoding) and ends the connection: framing is lost, nothing
 // after it can be trusted.
-func (c *conn) readLoop(reqs chan<- wire.Request, resps chan<- wire.Response) {
+func (c *conn) readLoop(reqs chan<- wire.Request, resps chan<- svResp) {
 	s := c.srv
 	br := bufio.NewReaderSize(c.nc, ioBufSize)
 	var scratch []byte
@@ -136,7 +171,7 @@ func (c *conn) readLoop(reqs chan<- wire.Request, resps chan<- wire.Response) {
 			if len(body) >= 8 {
 				resp.ID = binary.BigEndian.Uint64(body)
 			}
-			resps <- resp
+			resps <- svResp{Response: resp}
 			return
 		}
 		scratch = body[:0]
@@ -149,18 +184,18 @@ func (c *conn) readLoop(reqs chan<- wire.Request, resps chan<- wire.Response) {
 // syscalls under load, prompt responses when idle. After a write error it
 // keeps draining the queue (dropping responses) so workers never block on a
 // dead connection.
-func (c *conn) writeLoop(resps <-chan wire.Response) {
+func (c *conn) writeLoop(resps <-chan svResp) {
 	s := c.srv
 	bw := bufio.NewWriterSize(c.nc, ioBufSize)
 	var buf []byte
 	broken := false
 	for resp := range resps {
 		if broken {
-			c.recycleScanBuf(&resp)
+			c.recycleRespBufs(&resp)
 			continue
 		}
 		var err error
-		buf, err = wire.AppendResponse(buf[:0], &resp)
+		buf, err = wire.AppendResponse(buf[:0], &resp.Response)
 		if err != nil {
 			// Encode failures are server bugs (e.g. an over-long
 			// scan); turn them into a wire error for the client.
@@ -169,9 +204,9 @@ func (c *conn) writeLoop(resps <-chan wire.Response) {
 				Status: wire.StatusErr, Msg: err.Error(),
 			})
 		}
-		// The pair buffer is encoded into buf now; hand it back to the
-		// workers for the next Scan.
-		c.recycleScanBuf(&resp)
+		// The pair/value buffers are encoded into buf now; hand them
+		// back to the workers for the next request.
+		c.recycleRespBufs(&resp)
 		if _, err := bw.Write(buf); err != nil {
 			broken = true
 			continue
@@ -188,35 +223,47 @@ func (c *conn) writeLoop(resps <-chan wire.Response) {
 	}
 }
 
-// recycleScanBuf returns a Scan response's pair buffer to the connection's
-// recycle channel once the response no longer needs it (encoded or dropped).
-// If the channel is full the buffer is simply left to the GC.
-func (c *conn) recycleScanBuf(resp *wire.Response) {
-	if resp.Op != wire.OpScan || resp.Pairs == nil {
-		return
+// recycleRespBufs returns a response's pooled buffers — the Scan pair
+// buffer and/or the varlen buffer — to the connection's recycle channels
+// once the response no longer needs them (encoded or dropped). If a channel
+// is full the buffer is simply left to the GC.
+func (c *conn) recycleRespBufs(resp *svResp) {
+	if resp.Op == wire.OpScan && resp.Pairs != nil {
+		select {
+		case c.scanBufs <- resp.Pairs[:0]:
+		default:
+		}
+		resp.Pairs = nil
 	}
-	select {
-	case c.scanBufs <- resp.Pairs[:0]:
-	default:
+	if resp.vb != nil {
+		select {
+		case c.varBufs <- resp.vb:
+		default:
+		}
+		resp.vb = nil
+		resp.VVal, resp.VPairs = nil, nil
 	}
-	resp.Pairs = nil
 }
 
 // serve executes one request against the worker's session and shapes the
 // response. Store-level failures become StatusErr; a closed store (the
-// server lost a race with Store.Close) becomes StatusClosed.
-func (c *conn) serve(ss *store.Session, req *wire.Request) wire.Response {
+// server lost a race with Store.Close) becomes StatusClosed. Responses that
+// borrow pooled buffers (Scan pairs, varlen values) carry them in the
+// svResp wrapper for the writer to recycle.
+func (c *conn) serve(ss *store.Session, req *wire.Request) svResp {
 	s := c.srv
 	s.ops.Add(1)
-	resp := wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}
-	fail := func(err error) wire.Response {
+	out := svResp{Response: wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}}
+	resp := &out.Response
+	fail := func(err error) svResp {
 		s.errs.Add(1)
 		resp.Status = wire.StatusErr
 		if errors.Is(err, store.ErrClosed) {
 			resp.Status = wire.StatusClosed
 		}
 		resp.Msg = err.Error()
-		return resp
+		resp.VVal, resp.VPairs = nil, nil
+		return out
 	}
 	switch req.Op {
 	case wire.OpGet:
@@ -226,7 +273,7 @@ func (c *conn) serve(ss *store.Session, req *wire.Request) wire.Response {
 		}
 		if !ok {
 			resp.Status = wire.StatusNotFound
-			return resp
+			return out
 		}
 		resp.Val = v
 	case wire.OpPut:
@@ -268,6 +315,71 @@ func (c *conn) serve(ss *store.Session, req *wire.Request) wire.Response {
 			pairs = append(pairs, wire.KV{Key: kv.Key, Val: kv.Val})
 		}
 		resp.Pairs = pairs
+	case wire.OpGetV:
+		vb := c.takeVarBuf()
+		out.vb = vb
+		val, ok, err := ss.GetBytes(req.Key, vb.arena[:0])
+		if err != nil {
+			return fail(err)
+		}
+		vb.arena = val
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			return out
+		}
+		resp.VVal = val
+	case wire.OpPutV:
+		if err := ss.PutBytes(req.Key, req.VVal); err != nil {
+			return fail(err)
+		}
+	case wire.OpScanV:
+		max := s.opts.MaxScan
+		if req.Max != 0 && int(req.Max) < max {
+			max = int(req.Max)
+		}
+		vb := c.takeVarBuf()
+		out.vb = vb
+		// The response must stay under the frame cap: count bounded by
+		// max, bytes bounded by a budget charging each pair's 12-byte
+		// header as it is appended. A first value too big for the budget
+		// alone is still sent (progress guarantee; it fits a frame since
+		// values are capped at wire.MaxValue); anything later that would
+		// overflow ends the page.
+		budget := int(wire.MaxFrame) - 64
+		var oversizedKey uint64
+		oversized := false
+		err := ss.ScanBytes(req.Lo, req.Hi, max, func(k uint64, v []byte) bool {
+			if len(v) > wire.MaxValue {
+				// Stored through the embedded API above the wire cap;
+				// an empty page here would strand paginating clients,
+				// so surface it as the request's failure instead.
+				if len(vb.pairs) == 0 {
+					oversized, oversizedKey = true, k
+				}
+				return false
+			}
+			used := len(vb.arena) + 12*len(vb.pairs)
+			if len(vb.pairs) > 0 && used+12+len(v) > budget {
+				return false
+			}
+			vb.arena = append(vb.arena, v...)
+			vb.pairs = append(vb.pairs, wire.VKV{Key: k})
+			vb.ends = append(vb.ends, len(vb.arena))
+			return len(vb.pairs) < max && len(vb.arena)+12*len(vb.pairs) < budget
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if oversized {
+			return fail(fmt.Errorf("server: value at key %d exceeds the wire size cap", oversizedKey))
+		}
+		// The arena has stopped moving; point the pairs into it.
+		start := 0
+		for i := range vb.pairs {
+			vb.pairs[i].Val = vb.arena[start:vb.ends[i]:vb.ends[i]]
+			start = vb.ends[i]
+		}
+		resp.VPairs = vb.pairs
 	case wire.OpStats:
 		st := s.Stats()
 		resp.Stats = wire.Stats{
@@ -281,5 +393,5 @@ func (c *conn) serve(ss *store.Session, req *wire.Request) wire.Response {
 	default:
 		return fail(errors.New("server: unhandled opcode " + req.Op.String()))
 	}
-	return resp
+	return out
 }

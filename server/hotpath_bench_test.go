@@ -32,14 +32,14 @@ func newServePath(tb testing.TB, nKeys int) (*conn, *store.Session, []uint64) {
 }
 
 // serveEncode runs one request through serve and the writer's encode step,
-// recycling the scan buffer the way writeLoop does.
+// recycling the pooled buffers the way writeLoop does.
 func serveEncode(c *conn, ss *store.Session, req *wire.Request, buf []byte) ([]byte, wire.Status) {
 	resp := c.serve(ss, req)
-	buf, err := wire.AppendResponse(buf[:0], &resp)
+	buf, err := wire.AppendResponse(buf[:0], &resp.Response)
 	if err != nil {
 		panic(err)
 	}
-	c.recycleScanBuf(&resp)
+	c.recycleRespBufs(&resp)
 	return buf, resp.Status
 }
 
@@ -71,6 +71,119 @@ func BenchmarkServeScan(b *testing.B) {
 		if st != wire.StatusOK {
 			b.Fatalf("status %v", st)
 		}
+	}
+}
+
+// newServePathV preloads varlen values for the varlen serve benchmarks.
+func newServePathV(tb testing.TB, nKeys, valSize int) (*conn, *store.Session, []uint64) {
+	tb.Helper()
+	st, err := store.Open(store.Options{Shards: 4, ShardSize: 64 << 20})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { st.Close() })
+	ss := st.NewSession()
+	tb.Cleanup(ss.Close)
+	keys := make([]uint64, nKeys)
+	val := make([]byte, valSize)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	for i := range keys {
+		keys[i] = uint64(i)*2654435761 + 1
+		if err := ss.PutBytes(keys[i], val); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	s := New(st, Options{})
+	return newConn(s, nil), ss, keys
+}
+
+func BenchmarkServeGetV(b *testing.B) {
+	c, ss, keys := newServePathV(b, 20000, 128)
+	req := wire.Request{ID: 1, Op: wire.OpGetV}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Key = keys[i%len(keys)]
+		var st wire.Status
+		buf, st = serveEncode(c, ss, &req, buf)
+		if st != wire.StatusOK {
+			b.Fatalf("status %v", st)
+		}
+	}
+}
+
+func BenchmarkServePutV(b *testing.B) {
+	c, ss, keys := newServePathV(b, 20000, 128)
+	val := make([]byte, 128)
+	req := wire.Request{ID: 1, Op: wire.OpPutV, VVal: val}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Key = keys[i%len(keys)]
+		var st wire.Status
+		buf, st = serveEncode(c, ss, &req, buf)
+		if st != wire.StatusOK {
+			b.Fatalf("status %v", st)
+		}
+	}
+}
+
+func BenchmarkServeScanV(b *testing.B) {
+	c, ss, _ := newServePathV(b, 20000, 128)
+	req := wire.Request{ID: 1, Op: wire.OpScanV, Lo: 0, Hi: ^uint64(0), Max: 100}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st wire.Status
+		buf, st = serveEncode(c, ss, &req, buf)
+		if st != wire.StatusOK {
+			b.Fatalf("status %v", st)
+		}
+	}
+}
+
+// TestServeVarlenAllocDiscipline bounds the varlen serve+encode path: all
+// buffers (value arena, pair slices, frame) are pooled, so the only
+// steady-state allocations allowed are the small constant ones the scan
+// callback needs — never per-byte or per-pair costs. GetV, whose path has
+// no closure, must stay allocation-free like the fixed ops.
+func TestServeVarlenAllocDiscipline(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the contract is checked in non-race runs")
+	}
+	c, ss, keys := newServePathV(t, 5000, 256)
+	var buf []byte
+
+	get := wire.Request{ID: 1, Op: wire.OpGetV, Key: keys[0]}
+	buf, _ = serveEncode(c, ss, &get, buf) // warm-up: sizes buffers
+	i := 0
+	if allocs := testing.AllocsPerRun(100, func() {
+		get.Key = keys[i%len(keys)]
+		i++
+		var st wire.Status
+		buf, st = serveEncode(c, ss, &get, buf)
+		if st != wire.StatusOK {
+			t.Fatalf("status %v", st)
+		}
+	}); allocs != 0 {
+		t.Errorf("GetV serve+encode allocs/op = %v, want 0", allocs)
+	}
+
+	scan := wire.Request{ID: 2, Op: wire.OpScanV, Lo: 0, Hi: ^uint64(0), Max: 64}
+	buf, _ = serveEncode(c, ss, &scan, buf) // warm-up
+	if allocs := testing.AllocsPerRun(100, func() {
+		var st wire.Status
+		buf, st = serveEncode(c, ss, &scan, buf)
+		if st != wire.StatusOK {
+			t.Fatalf("status %v", st)
+		}
+	}); allocs > 3 {
+		t.Errorf("ScanV serve+encode allocs/op = %v, want <= 3 (constant, not per-pair)", allocs)
 	}
 }
 

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/vlog"
+)
+
+// The varlen value API. Each shard pairs its FAST+FAIR tree with a
+// persistent append-only value log (internal/vlog); PutBytes appends the
+// value to the shard's log and stores the returned Ref — one uint64 — in
+// the tree, so the tree's 8-byte failure-atomic store discipline is
+// untouched. GetBytes resolves the Ref back to bytes, validating the log
+// record's header and checksum on the way.
+//
+// Crash atomicity composes from the two layers' own guarantees: the log
+// record is fully durable before its Ref exists anywhere (the log tail
+// publish is ordered after the record flush, and the tree Insert starts
+// only after Append returns), and the tree insert of the Ref is the
+// paper's single atomic 8-byte store. A crash mid-PutBytes therefore
+// leaves either no trace (record unreachable, truncated by Reopen) or a
+// leaked-but-intact record (tail published, tree insert lost) — never a
+// torn value behind a live key.
+//
+// Fixed-width (Put/Get) and varlen (PutBytes/GetBytes) values share one
+// tree per shard, so a single key must be used through one API
+// consistently. The store cannot tell a fixed value from a Ref by looking
+// at the word; it tells them apart at read time, when a fixed value fails
+// the log's Ref validation (GetBytes on it returns ErrNotVarlen) — while
+// Get on a varlen key returns the raw Ref, which is meaningless but
+// harmless. Overwriting or deleting a varlen key strands the old record
+// as garbage in the log until a future compaction pass.
+
+// MaxValue is the largest value PutBytes accepts: 1 MiB less the wire
+// protocol's frame headroom, equal to wire.MaxValue (asserted by a server
+// test) so every stored value can be served over the network.
+const MaxValue = 1<<20 - 64
+
+// Errors of the varlen API.
+var (
+	// ErrValueTooLarge reports a PutBytes value above MaxValue.
+	ErrValueTooLarge = errors.New("store: value exceeds MaxValue")
+	// ErrNotVarlen reports a GetBytes/ScanBytes of a key whose stored
+	// word is not a valid value-log reference — a key written through
+	// the fixed-width Put API.
+	ErrNotVarlen = errors.New("store: key does not hold a varlen value")
+	// ErrValueCorrupt reports a value-log record that failed its
+	// checksum: the key's reference was valid but the image is damaged.
+	// Unlike ErrNotVarlen this is data loss, not API misuse.
+	ErrValueCorrupt = errors.New("store: varlen value failed its checksum")
+)
+
+// wrapReadErr classifies a vlog read failure: checksum failures are
+// corruption, everything else (bad offset, header/ref disagreement) is a
+// fixed-width key read through the varlen API.
+func wrapReadErr(key uint64, err error) error {
+	if errors.Is(err, vlog.ErrCorrupt) {
+		return fmt.Errorf("%w (key %d): %v", ErrValueCorrupt, key, err)
+	}
+	return fmt.Errorf("%w (key %d): %v", ErrNotVarlen, key, err)
+}
+
+// PutBytes stores val as a byte-string value under key, replacing any
+// existing value (fixed or varlen). The value is durable when PutBytes
+// returns; a crash mid-call can only lose the whole update, never expose
+// a torn or partial value. On a closed store it returns ErrClosed.
+func (ss *Session) PutBytes(key uint64, val []byte) error {
+	if len(val) > MaxValue {
+		return fmt.Errorf("%w: %d > %d bytes", ErrValueTooLarge, len(val), MaxValue)
+	}
+	if !ss.s.acquire() {
+		return ErrClosed
+	}
+	defer ss.s.release()
+	i := ss.s.ShardFor(key)
+	sh := &ss.s.shards[i]
+	ref, err := sh.vl.Append(ss.ths[i], val)
+	if err != nil {
+		return fmt.Errorf("store: shard %d value log: %w", i, err)
+	}
+	return sh.ix.Insert(ss.ths[i], key, uint64(ref))
+}
+
+// GetBytes returns the byte-string value stored under key, appended to dst
+// (pass nil, or a recycled buffer, to control allocation). The middle
+// return reports presence. A key written through the fixed-width Put API
+// fails with ErrNotVarlen. On a closed store it returns ErrClosed.
+func (ss *Session) GetBytes(key uint64, dst []byte) ([]byte, bool, error) {
+	if !ss.s.acquire() {
+		return dst, false, ErrClosed
+	}
+	defer ss.s.release()
+	i := ss.s.ShardFor(key)
+	sh := &ss.s.shards[i]
+	ref, ok := sh.ix.Get(ss.ths[i], key)
+	if !ok {
+		return dst, false, nil
+	}
+	out, err := sh.vl.Read(ss.ths[i], vlog.Ref(ref), dst)
+	if err != nil {
+		return dst, false, wrapReadErr(key, err)
+	}
+	return out, true, nil
+}
+
+// DeleteBytes removes a varlen key, reporting whether it was present. The
+// tree entry disappears atomically; the value's log record becomes
+// garbage until compaction. It is Delete with a name that documents the
+// varlen discipline — the two are interchangeable for removal.
+func (ss *Session) DeleteBytes(key uint64) (bool, error) {
+	return ss.Delete(key)
+}
+
+// ScanBytes visits varlen pairs with lo <= key <= hi in ascending global
+// key order, resolving each tree Ref to its value bytes and calling fn
+// until it returns false or max pairs (max <= 0 means no bound beyond the
+// ScanLimit page cap) have been visited. The val slice is owned by the
+// session and valid only during the callback — copy it to keep it.
+//
+// Like ScanLimit, which it pages on, the per-shard collection is
+// read-uncommitted and bounded: at most max pairs are returned per call,
+// so callers paginate with lo = lastKey+1. A fixed-width key inside the
+// range aborts the scan with ErrNotVarlen: keep fixed and varlen keys in
+// disjoint ranges if both share a store. On a closed store it returns
+// ErrClosed.
+func (ss *Session) ScanBytes(lo, hi uint64, max int, fn func(key uint64, val []byte) bool) error {
+	if max <= 0 || max > maxScanPage {
+		max = maxScanPage
+	}
+	if !ss.s.acquire() {
+		return ErrClosed
+	}
+	defer ss.s.release()
+	kvs, err := ss.ScanLimit(lo, hi, max)
+	if err != nil {
+		return err
+	}
+	for _, kv := range kvs {
+		i := ss.s.ShardFor(kv.Key)
+		buf, err := ss.s.shards[i].vl.Read(ss.ths[i], vlog.Ref(kv.Val), ss.valBuf[:0])
+		if err != nil {
+			return wrapReadErr(kv.Key, err)
+		}
+		ss.valBuf = buf
+		if !fn(kv.Key, buf) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// maxScanPage bounds one ScanBytes page when the caller passes no max.
+const maxScanPage = 65536

@@ -25,6 +25,9 @@ type Session struct {
 	collect  []func(uint64, uint64) bool
 	scanMax  int
 	scanOut  []KV
+
+	// valBuf is the reusable value buffer behind ScanBytes callbacks.
+	valBuf []byte
 }
 
 // NewSession returns a fresh Session bound to the calling goroutine. It may

@@ -25,6 +25,7 @@ import (
 
 	"repro/index"
 	"repro/internal/pmem"
+	"repro/internal/vlog"
 )
 
 // ErrClosed reports an operation on a closed Store. Sessions outliving their
@@ -51,6 +52,11 @@ type Options struct {
 	Kind index.Kind
 	// NodeSize overrides the per-shard node size.
 	NodeSize int
+	// ValueLogExtent is the growth unit of each shard's value log in
+	// bytes (the persistent log behind PutBytes/GetBytes). 0 picks a
+	// default scaled to ShardSize; oversized values allocate one-off
+	// larger extents regardless.
+	ValueLogExtent int64
 }
 
 // LatencyOptions is the external-facing slice of pmem.Config: the emulated
@@ -87,6 +93,18 @@ func (o *Options) fill() error {
 	if o.Kind == "" {
 		o.Kind = index.FastFair
 	}
+	if o.ValueLogExtent == 0 {
+		// Scale the growth unit to the shard: 1/64 of the arena keeps
+		// tiny test shards from burning their space on one extent while
+		// production-sized shards grow in MiB steps.
+		o.ValueLogExtent = o.ShardSize / 64
+		if o.ValueLogExtent > vlog.DefaultExtent {
+			o.ValueLogExtent = vlog.DefaultExtent
+		}
+		if o.ValueLogExtent < 4096 {
+			o.ValueLogExtent = 4096
+		}
+	}
 	return nil
 }
 
@@ -94,14 +112,16 @@ func (o *Options) fill() error {
 const maxShards = 1 << 16
 
 // The pool root slots holding shard metadata. The tree anchors at slot 0
-// and the FAST+Logging split log would claim slot 4, so slots 2 and 3 are
-// free for every supported kind. stampSlot identifies the shard (magic,
-// shard count, shard id); shapeSlot records how the shard's index was
-// configured (kind hash, node size) so Reopen refuses to misinterpret an
-// image with the wrong options.
+// and the FAST+Logging split log (and FP-tree recovery cursor) would claim
+// slot 4, so slots 2, 3 and 5 are free for every supported kind. stampSlot
+// identifies the shard (magic, shard count, shard id); shapeSlot records
+// how the shard's index was configured (kind hash, node size) so Reopen
+// refuses to misinterpret an image with the wrong options; vlogSlot anchors
+// the shard's value log (varlen values).
 const (
 	stampSlot = 3
 	shapeSlot = 2
+	vlogSlot  = 5
 )
 
 // stampMagic brands a pool as a store shard ("FF+S" in the top word).
@@ -139,6 +159,7 @@ type Store struct {
 type shard struct {
 	pool *pmem.Pool
 	ix   index.Index
+	vl   *vlog.Log
 }
 
 // Open creates a fresh store: opts.Shards pools, one index per pool, each
@@ -157,10 +178,14 @@ func Open(opts Options) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: shard %d: %w", i, err)
 		}
+		vl, err := vlog.Create(p, th, vlogSlot, opts.ValueLogExtent)
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d value log: %w", i, err)
+		}
 		p.SetRoot(th, stampSlot, stamp(i, opts.Shards))
 		p.SetRoot(th, shapeSlot, shape(opts.Kind, opts.NodeSize))
 		th.Release()
-		s.shards[i] = shard{pool: p, ix: ix}
+		s.shards[i] = shard{pool: p, ix: ix, vl: vl}
 	}
 	return s, nil
 }
@@ -203,8 +228,20 @@ func Reopen(pools []*pmem.Pool, opts Options) (*Store, error) {
 		if err := index.Recover(ix, th); err != nil {
 			return nil, fmt.Errorf("store: shard %d recovery: %w", i, err)
 		}
+		// Value-log recovery: bounds-check the tail, truncate the torn or
+		// unpublished record at it, re-validate every published record.
+		// Images from before the value log existed get a fresh one.
+		var vl *vlog.Log
+		if p.Root(th, vlogSlot) == 0 {
+			vl, err = vlog.Create(p, th, vlogSlot, opts.ValueLogExtent)
+		} else {
+			vl, err = vlog.Open(p, th, vlogSlot)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d value log recovery: %w", i, err)
+		}
 		th.Release()
-		s.shards[i] = shard{pool: p, ix: ix}
+		s.shards[i] = shard{pool: p, ix: ix, vl: vl}
 	}
 	return s, nil
 }
@@ -275,6 +312,9 @@ func (s *Store) CheckInvariants() error {
 	for i, sh := range s.shards {
 		th := sh.pool.NewThread()
 		err := index.CheckInvariants(sh.ix, th)
+		if err == nil {
+			_, err = sh.vl.Check(th)
+		}
 		th.Release()
 		if err != nil {
 			return fmt.Errorf("store: shard %d: %w", i, err)

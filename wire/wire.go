@@ -1,45 +1,3 @@
-// Package wire defines the pmkv network protocol: a compact length-prefixed
-// binary framing shared by package server and package client.
-//
-// Every message is one frame:
-//
-//	+----------+-----------------------------+
-//	| len u32  | body (len bytes)            |
-//	+----------+-----------------------------+
-//
-// with len counting only the body, big-endian like every other integer on
-// the wire. Request and response bodies share a fixed header so frames are
-// self-describing:
-//
-//	request body:  id u64 | op u8     | payload
-//	response body: id u64 | op u8 | status u8 | payload
-//
-// The id is chosen by the client and echoed verbatim by the server; it is
-// what lets a connection carry many in-flight requests (pipelining) with
-// responses matched back out of order. The op byte in the response echoes
-// the request's opcode so the payload can be decoded statelessly.
-//
-// Request payloads by opcode:
-//
-//	Get      key u64
-//	Put      key u64 | val u64
-//	Delete   key u64
-//	PutBatch count u32 | count x (key u64 | val u64)
-//	Scan     lo u64 | hi u64 | max u32   (max 0 = server default cap)
-//	Stats    (empty)
-//
-// Response payloads by status:
-//
-//	StatusOK        op-specific: Get → val u64; Scan → count u32 + pairs;
-//	                Stats → 6 x u64 (ops, errors, bytes in, bytes out,
-//	                live conns, total conns); others empty.
-//	StatusNotFound  empty (Get miss, Delete of an absent key)
-//	StatusErr       UTF-8 error message
-//	StatusClosed    UTF-8 error message (server draining / store closed)
-//
-// Decoders are hardened against arbitrary bytes: they never panic, never
-// allocate more than the frame they were handed, and reject frames with
-// trailing garbage (see FuzzDecodeRequest).
 package wire
 
 import (
@@ -58,6 +16,12 @@ const MaxFrame = 1 << 20
 // carry under MaxFrame. Clients chunk larger batches across frames.
 const MaxPairs = 32768
 
+// MaxValue is the largest byte-string value one PutV request or GetV/ScanV
+// response element may carry: a whole value plus headers must fit a frame.
+// Both encoders and decoders enforce it, so a conforming peer can never be
+// handed a value it cannot re-emit.
+const MaxValue = MaxFrame - 64
+
 // Op identifies a request operation.
 type Op uint8
 
@@ -70,6 +34,10 @@ const (
 	OpPutBatch
 	OpScan
 	OpStats
+	// The varlen-value opcodes: values are byte strings, not u64s.
+	OpGetV
+	OpPutV
+	OpScanV
 )
 
 func (op Op) String() string {
@@ -86,6 +54,12 @@ func (op Op) String() string {
 		return "Scan"
 	case OpStats:
 		return "Stats"
+	case OpGetV:
+		return "GetV"
+	case OpPutV:
+		return "PutV"
+	case OpScanV:
+		return "ScanV"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(op))
 	}
@@ -126,6 +100,12 @@ type KV struct {
 	Key, Val uint64
 }
 
+// VKV is one key / byte-string value pair as carried by ScanV responses.
+type VKV struct {
+	Key uint64
+	Val []byte
+}
+
 // Stats is the counter snapshot a StatusOK Stats response carries.
 type Stats struct {
 	Ops        uint64 // requests served
@@ -141,11 +121,12 @@ type Stats struct {
 type Request struct {
 	ID     uint64
 	Op     Op
-	Key    uint64 // Get, Put, Delete
+	Key    uint64 // Get, Put, Delete, GetV, PutV
 	Val    uint64 // Put
-	Lo, Hi uint64 // Scan
-	Max    uint32 // Scan result cap; 0 = server default
+	Lo, Hi uint64 // Scan, ScanV
+	Max    uint32 // Scan/ScanV result cap; 0 = server default
 	Pairs  []KV   // PutBatch
+	VVal   []byte // PutV value (decoded into its own allocation)
 }
 
 // Response is a decoded response frame. Fields beyond ID, Op and Status are
@@ -156,6 +137,8 @@ type Response struct {
 	Status Status
 	Val    uint64 // Get hit
 	Pairs  []KV   // Scan
+	VVal   []byte // GetV hit
+	VPairs []VKV  // ScanV (decoded Vals subslice one shared allocation)
 	Stats  Stats  // Stats
 	Msg    string // StatusErr / StatusClosed detail
 }
@@ -221,11 +204,14 @@ func appendFrame(dst []byte, lenAt int) []byte {
 }
 
 // AppendRequest appends r as one length-prefixed frame to dst and returns
-// the extended slice. The only encode-time failure is a PutBatch exceeding
-// MaxPairs; chunk those across frames.
+// the extended slice. The encode-time failures are a PutBatch exceeding
+// MaxPairs (chunk those across frames) and a PutV value above MaxValue.
 func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	if r.Op == OpPutBatch && len(r.Pairs) > MaxPairs {
 		return dst, fmt.Errorf("%w: %d > %d", ErrTooManyKV, len(r.Pairs), MaxPairs)
+	}
+	if r.Op == OpPutV && len(r.VVal) > MaxValue {
+		return dst, fmt.Errorf("%w: PutV value %d > %d bytes", ErrFrameTooBig, len(r.VVal), MaxValue)
 	}
 	lenAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
@@ -243,11 +229,18 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 			dst = be.AppendUint64(dst, kv.Key)
 			dst = be.AppendUint64(dst, kv.Val)
 		}
-	case OpScan:
+	case OpScan, OpScanV:
 		dst = be.AppendUint64(dst, r.Lo)
 		dst = be.AppendUint64(dst, r.Hi)
 		dst = be.AppendUint32(dst, r.Max)
 	case OpStats:
+	case OpGetV:
+		dst = be.AppendUint64(dst, r.Key)
+	case OpPutV:
+		// The value runs to the end of the frame: its length is implied
+		// by the frame length, like an error message's.
+		dst = be.AppendUint64(dst, r.Key)
+		dst = append(dst, r.VVal...)
 	default:
 		return dst[:lenAt], fmt.Errorf("wire: cannot encode unknown opcode %d", r.Op)
 	}
@@ -296,9 +289,9 @@ func DecodeRequest(body []byte) (Request, error) {
 			pairs[i].Val = be.Uint64(p[i*16+8:])
 		}
 		r.Pairs = pairs
-	case OpScan:
+	case OpScan, OpScanV:
 		if len(p) != 20 {
-			return r, malformed("Scan payload %d bytes, want 20", len(p))
+			return r, malformed("%s payload %d bytes, want 20", r.Op, len(p))
 		}
 		r.Lo = be.Uint64(p)
 		r.Hi = be.Uint64(p[8:])
@@ -307,6 +300,22 @@ func DecodeRequest(body []byte) (Request, error) {
 		if len(p) != 0 {
 			return r, malformed("Stats payload %d bytes, want 0", len(p))
 		}
+	case OpGetV:
+		if len(p) != 8 {
+			return r, malformed("GetV payload %d bytes, want 8", len(p))
+		}
+		r.Key = be.Uint64(p)
+	case OpPutV:
+		if len(p) < 8 {
+			return r, malformed("PutV payload %d bytes, want >= 8", len(p))
+		}
+		if len(p)-8 > MaxValue {
+			return r, malformed("PutV value %d bytes exceeds MaxValue %d", len(p)-8, MaxValue)
+		}
+		r.Key = be.Uint64(p)
+		// Copied, not aliased: frame buffers are recycled by transports,
+		// but requests outlive the read loop's scratch.
+		r.VVal = append([]byte(nil), p[8:]...)
 	default:
 		return r, malformed("unknown opcode %d", uint8(r.Op))
 	}
@@ -314,11 +323,16 @@ func DecodeRequest(body []byte) (Request, error) {
 }
 
 // AppendResponse appends r as one length-prefixed frame to dst and returns
-// the extended slice. Scan responses exceeding MaxPairs fail at encode time;
-// servers cap result sets below that.
+// the extended slice. Scan/ScanV responses exceeding MaxPairs and GetV/ScanV
+// values above MaxValue fail at encode time; servers cap result sets below
+// both.
 func AppendResponse(dst []byte, r *Response) ([]byte, error) {
-	if r.Op == OpScan && r.Status == StatusOK && len(r.Pairs) > MaxPairs {
-		return dst, fmt.Errorf("%w: %d > %d", ErrTooManyKV, len(r.Pairs), MaxPairs)
+	if (r.Op == OpScan || r.Op == OpScanV) && r.Status == StatusOK &&
+		max(len(r.Pairs), len(r.VPairs)) > MaxPairs {
+		return dst, fmt.Errorf("%w: %d > %d", ErrTooManyKV, max(len(r.Pairs), len(r.VPairs)), MaxPairs)
+	}
+	if r.Op == OpGetV && r.Status == StatusOK && len(r.VVal) > MaxValue {
+		return dst, fmt.Errorf("%w: GetV value %d > %d bytes", ErrFrameTooBig, len(r.VVal), MaxValue)
 	}
 	lenAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
@@ -346,7 +360,20 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 			} {
 				dst = be.AppendUint64(dst, v)
 			}
-		case OpPut, OpDelete, OpPutBatch:
+		case OpGetV:
+			dst = append(dst, r.VVal...)
+		case OpScanV:
+			dst = be.AppendUint32(dst, uint32(len(r.VPairs)))
+			for i := range r.VPairs {
+				if len(r.VPairs[i].Val) > MaxValue {
+					return dst[:lenAt], fmt.Errorf("%w: ScanV value %d > %d bytes",
+						ErrFrameTooBig, len(r.VPairs[i].Val), MaxValue)
+				}
+				dst = be.AppendUint64(dst, r.VPairs[i].Key)
+				dst = be.AppendUint32(dst, uint32(len(r.VPairs[i].Val)))
+				dst = append(dst, r.VPairs[i].Val...)
+			}
+		case OpPut, OpDelete, OpPutBatch, OpPutV:
 		default:
 			return dst[:lenAt], fmt.Errorf("wire: cannot encode unknown opcode %d", r.Op)
 		}
@@ -406,6 +433,56 @@ func DecodeResponse(body []byte) (Response, error) {
 			pairs[i].Val = be.Uint64(p[i*16+8:])
 		}
 		r.Pairs = pairs
+	case OpGetV:
+		if len(p) > MaxValue {
+			return r, malformed("GetV value %d bytes exceeds MaxValue %d", len(p), MaxValue)
+		}
+		r.VVal = append([]byte(nil), p...)
+	case OpPutV:
+		if len(p) != 0 {
+			return r, malformed("PutV response payload %d bytes, want 0", len(p))
+		}
+	case OpScanV:
+		if len(p) < 4 {
+			return r, malformed("ScanV response payload %d bytes, want >= 4", len(p))
+		}
+		n := be.Uint32(p)
+		p = p[4:]
+		if n > MaxPairs {
+			return r, malformed("ScanV count %d exceeds MaxPairs %d", n, MaxPairs)
+		}
+		// Two passes: validate the pair lengths against the actual bytes
+		// present before allocating anything, then slice one shared arena
+		// so a count-n response costs exactly two allocations.
+		total, q := 0, p
+		for i := uint32(0); i < n; i++ {
+			if len(q) < 12 {
+				return r, malformed("ScanV pair %d truncated", i)
+			}
+			vlen := int(be.Uint32(q[8:]))
+			if vlen > MaxValue {
+				return r, malformed("ScanV value %d bytes exceeds MaxValue %d", vlen, MaxValue)
+			}
+			if len(q)-12 < vlen {
+				return r, malformed("ScanV pair %d claims %d value bytes, %d left", i, vlen, len(q)-12)
+			}
+			total += vlen
+			q = q[12+vlen:]
+		}
+		if len(q) != 0 {
+			return r, malformed("ScanV response has %d trailing bytes", len(q))
+		}
+		arena := make([]byte, 0, total)
+		pairs := make([]VKV, n)
+		for i := range pairs {
+			vlen := int(be.Uint32(p[8:]))
+			pairs[i].Key = be.Uint64(p)
+			start := len(arena)
+			arena = append(arena, p[12:12+vlen]...)
+			pairs[i].Val = arena[start:len(arena):len(arena)]
+			p = p[12+vlen:]
+		}
+		r.VPairs = pairs
 	case OpStats:
 		if len(p) != statsWords*8 {
 			return r, malformed("Stats response payload %d bytes, want %d", len(p), statsWords*8)

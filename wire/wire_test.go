@@ -19,6 +19,10 @@ func requestCases() []Request {
 		{ID: 6, Op: OpScan, Lo: 10, Hi: 20, Max: 7},
 		{ID: 7, Op: OpScan, Lo: 0, Hi: ^uint64(0), Max: 0},
 		{ID: ^uint64(0), Op: OpStats},
+		{ID: 8, Op: OpGetV, Key: 42},
+		{ID: 9, Op: OpPutV, Key: 42, VVal: []byte("hello, varlen world")},
+		{ID: 10, Op: OpPutV, Key: 0},
+		{ID: 11, Op: OpScanV, Lo: 5, Hi: 500, Max: 32},
 	}
 }
 
@@ -37,6 +41,16 @@ func responseCases() []Response {
 		{ID: 9, Op: OpPut, Status: StatusErr, Msg: "shard 3: arena exhausted"},
 		{ID: 10, Op: OpGet, Status: StatusClosed, Msg: "store: closed"},
 		{ID: 11, Op: OpPut, Status: StatusErr, Msg: ""},
+		{ID: 12, Op: OpGetV, Status: StatusOK, VVal: []byte("byte-string value")},
+		{ID: 13, Op: OpGetV, Status: StatusNotFound},
+		{ID: 14, Op: OpPutV, Status: StatusOK},
+		{ID: 15, Op: OpScanV, Status: StatusOK, VPairs: []VKV{
+			{Key: 1, Val: []byte("a")},
+			{Key: 2, Val: []byte("")},
+			{Key: ^uint64(0), Val: bytes.Repeat([]byte{0xab}, 300)},
+		}},
+		{ID: 16, Op: OpScanV, Status: StatusOK, VPairs: []VKV{}},
+		{ID: 17, Op: OpGetV, Status: StatusErr, Msg: "store: key does not hold a varlen value"},
 	}
 }
 
@@ -160,6 +174,10 @@ func TestDecodeRequestRejectsGarbage(t *testing.T) {
 		{"batch short count", append(make([]byte, 8), byte(OpPutBatch), 1)},
 		{"batch count lies", append(append(make([]byte, 8), byte(OpPutBatch)), 0xff, 0xff, 0xff, 0xff)},
 		{"stats with payload", append(make([]byte, 8), byte(OpStats), 1)},
+		{"getv without key", append(make([]byte, 8), byte(OpGetV), 1, 2)},
+		{"getv trailing bytes", append(make([]byte, 8), byte(OpGetV), 0, 0, 0, 0, 0, 0, 0, 0, 99)},
+		{"putv short key", append(make([]byte, 8), byte(OpPutV), 1, 2, 3)},
+		{"scanv short payload", append(make([]byte, 8), byte(OpScanV), 1, 2, 3, 4)},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeRequest(tc.body); !errors.Is(err, ErrMalformed) {
@@ -194,6 +212,57 @@ func TestBatchTooLarge(t *testing.T) {
 	}
 	if _, err := DecodeRequest(over); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("decode of %d-pair batch: %v, want ErrMalformed", MaxPairs+1, err)
+	}
+}
+
+// TestVarlenLimits pins the size caps of the varlen ops on both the encode
+// and decode side, so a conforming peer can never be handed a frame it
+// cannot re-emit (the fuzz round-trip property depends on this symmetry).
+func TestVarlenLimits(t *testing.T) {
+	big := make([]byte, MaxValue+1)
+	if _, err := AppendRequest(nil, &Request{Op: OpPutV, Key: 1, VVal: big}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("encode oversized PutV: %v, want ErrFrameTooBig", err)
+	}
+	if _, err := AppendResponse(nil, &Response{Op: OpGetV, Status: StatusOK, VVal: big}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("encode oversized GetV: %v, want ErrFrameTooBig", err)
+	}
+	if _, err := AppendResponse(nil, &Response{Op: OpScanV, Status: StatusOK,
+		VPairs: []VKV{{Key: 1, Val: big}}}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("encode oversized ScanV element: %v, want ErrFrameTooBig", err)
+	}
+	if _, err := AppendResponse(nil, &Response{Op: OpScanV, Status: StatusOK,
+		VPairs: make([]VKV, MaxPairs+1)}); !errors.Is(err, ErrTooManyKV) {
+		t.Fatalf("encode over-long ScanV: %v, want ErrTooManyKV", err)
+	}
+
+	// Decoder side: a hand-rolled peer pushing the same violations is
+	// rejected as malformed.
+	overReq := append(be.AppendUint64(append(make([]byte, 8), byte(OpPutV)), 1), big...)
+	if _, err := DecodeRequest(overReq); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("decode oversized PutV: %v, want ErrMalformed", err)
+	}
+	overResp := append(make([]byte, 8), byte(OpGetV), byte(StatusOK))
+	overResp = append(overResp, big...)
+	if _, err := DecodeResponse(overResp); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("decode oversized GetV: %v, want ErrMalformed", err)
+	}
+	// ScanV with a lying element length.
+	lie := append(make([]byte, 8), byte(OpScanV), byte(StatusOK))
+	lie = be.AppendUint32(lie, 1)
+	lie = be.AppendUint64(lie, 7)
+	lie = be.AppendUint32(lie, 100) // claims 100 bytes, provides 2
+	lie = append(lie, 0xaa, 0xbb)
+	if _, err := DecodeResponse(lie); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("decode lying ScanV: %v, want ErrMalformed", err)
+	}
+	// The largest legal PutV still fits one frame.
+	okReq := Request{Op: OpPutV, Key: 1, VVal: make([]byte, MaxValue)}
+	frame, err := AppendRequest(nil, &okReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) > MaxFrame+4 {
+		t.Fatalf("max PutV frame is %d bytes, exceeds MaxFrame %d", len(frame), MaxFrame)
 	}
 }
 
