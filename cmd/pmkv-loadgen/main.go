@@ -277,6 +277,10 @@ func main() {
 	if stats, err := pool.Stats(); err == nil {
 		fmt.Printf("server: %d ops (%d errors), %d conns live, %d B in, %d B out\n",
 			stats.Ops, stats.Errors, stats.ConnsLive, stats.BytesIn, stats.BytesOut)
+		if stats.VlogLive+stats.VlogGarbage+stats.VlogReclaimed > 0 {
+			fmt.Printf("server value log: %d B live, %d B garbage, %d B reclaimed by GC\n",
+				stats.VlogLive, stats.VlogGarbage, stats.VlogReclaimed)
+		}
 	}
 
 	if *memprofile != "" {

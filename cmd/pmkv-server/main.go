@@ -5,11 +5,17 @@
 //
 //	pmkv-server [-addr :7841] [-shards 8] [-shard-size-mb 256]
 //	            [-workers 2] [-read-latency 0] [-write-latency 0]
+//	            [-gc-ratio 0.5]
 //
 // The store lives in simulated persistent memory inside the process; the
 // latency flags emulate a PM device (e.g. -write-latency 300ns). SIGINT or
 // SIGTERM triggers a graceful shutdown: the listeners close, in-flight
 // requests drain and answer, and only then does the store close.
+//
+// -gc-ratio tunes value-log compaction: when a shard's varlen garbage
+// fraction reaches the ratio, the writing session compacts the shard
+// inline, so sustained overwrite traffic runs in bounded space. -gc-ratio
+// -1 disables automatic compaction (the log then only grows).
 package main
 
 import (
@@ -34,13 +40,15 @@ func main() {
 	workers := flag.Int("workers", 2, "request workers (sessions) per connection")
 	readLat := flag.Duration("read-latency", 0, "simulated PM read latency (e.g. 150ns)")
 	writeLat := flag.Duration("write-latency", 0, "simulated PM write latency (e.g. 300ns)")
+	gcRatio := flag.Float64("gc-ratio", 0, "value-log garbage ratio that triggers automatic compaction (0 = default 0.5, negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
 	flag.Parse()
 
 	st, err := store.Open(store.Options{
-		Shards:    *shards,
-		ShardSize: *shardMB << 20,
+		Shards:         *shards,
+		ShardSize:      *shardMB << 20,
+		GCGarbageRatio: *gcRatio,
 		Latency: store.LatencyOptions{
 			Read:  *readLat,
 			Write: *writeLat,
@@ -83,9 +91,14 @@ func main() {
 	}
 
 	stats := srv.Stats()
+	vs := st.ValueStats()
 	if err := st.Close(); err != nil {
 		log.Printf("pmkv-server: store close: %v", err)
 	}
 	fmt.Printf("served %d ops (%d errors), %d conns total, %d B in, %d B out\n",
 		stats.Ops, stats.Errors, stats.ConnsTotal, stats.BytesIn, stats.BytesOut)
+	if vs.Live+vs.Garbage+vs.Reclaimed > 0 {
+		fmt.Printf("value log: %d B live, %d B garbage, %d B reclaimed by GC\n",
+			vs.Live, vs.Garbage, vs.Reclaimed)
+	}
 }

@@ -91,6 +91,70 @@ type Recoverer interface {
 	Recover(th *pmem.Thread) error
 }
 
+// Exchanger is implemented by kinds whose Insert can atomically return the
+// displaced value. The store's value-log garbage accounting needs the old
+// word of every overwrite.
+type Exchanger interface {
+	Exchange(th *pmem.Thread, key, val uint64) (old uint64, existed bool, err error)
+}
+
+// ConditionalReplacer is implemented by kinds that can atomically replace a
+// key's value only while it still holds an expected word — the commit
+// primitive of value-log record relocation.
+type ConditionalReplacer interface {
+	ReplaceIf(th *pmem.Thread, key, old, new uint64) bool
+}
+
+// Remover is implemented by kinds whose Delete can atomically return the
+// displaced value.
+type Remover interface {
+	Remove(th *pmem.Thread, key uint64) (old uint64, existed bool)
+}
+
+// Exchange stores val under key and returns the value it displaced. Kinds
+// without a native Exchange fall back to Get+Insert, which is atomic only
+// for single-writer use — exactly the concurrency story of the kinds that
+// lack it (the FAST+FAIR variants implement it natively under the leaf
+// latch).
+func Exchange(ix Index, th *pmem.Thread, key, val uint64) (old uint64, existed bool, err error) {
+	if e, ok := Unwrap(ix).(Exchanger); ok {
+		return e.Exchange(th, key, val)
+	}
+	old, existed = ix.Get(th, key)
+	if err := ix.Insert(th, key, val); err != nil {
+		return 0, false, err
+	}
+	return old, existed, nil
+}
+
+// ReplaceIf replaces key's value old→new only while it still holds old,
+// reporting whether it did. The fallback (Get, compare, Insert) is atomic
+// only for single-writer kinds; the FAST+FAIR variants implement the
+// latched compare-and-swap natively.
+func ReplaceIf(ix Index, th *pmem.Thread, key, old, new uint64) bool {
+	if r, ok := Unwrap(ix).(ConditionalReplacer); ok {
+		return r.ReplaceIf(th, key, old, new)
+	}
+	cur, found := ix.Get(th, key)
+	if !found || cur != old {
+		return false
+	}
+	return ix.Insert(th, key, new) == nil
+}
+
+// Remove deletes key and returns the value it held. The fallback
+// (Get+Delete) is atomic only for single-writer kinds.
+func Remove(ix Index, th *pmem.Thread, key uint64) (old uint64, existed bool) {
+	if r, ok := Unwrap(ix).(Remover); ok {
+		return r.Remove(th, key)
+	}
+	old, existed = ix.Get(th, key)
+	if !existed {
+		return 0, false
+	}
+	return old, ix.Delete(th, key)
+}
+
 // Checker is implemented by kinds that can verify structural invariants.
 type Checker interface {
 	CheckInvariants(th *pmem.Thread) error

@@ -18,23 +18,8 @@ import (
 // reused, so a lock-free reader that raced the delete still observes the
 // pre-delete value rather than recycled garbage.
 func (t *BTree) Delete(th *pmem.Thread, key uint64) bool {
-	th.BeginPhase(pmem.PhaseSearch)
-	defer th.EndPhase()
-
-	n := t.descendToLeaf(th, key)
-	t.lockNode(th, n)
-	n = t.moveRightLocked(th, n, key)
-	t.fixNodeLocked(th, n)
-
-	pos := t.findPosLocked(th, n, key)
-	if pos < 0 {
-		t.unlockNode(th, n)
-		return false
-	}
-	th.BeginPhase(pmem.PhaseUpdate)
-	t.fastDelete(th, n, pos)
-	t.unlockNode(th, n)
-	return true
+	_, existed := t.Remove(th, key)
+	return existed
 }
 
 // fastDelete removes the entry at pos from the latched node.

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pmem"
+)
+
+// The read-modify-write primitives behind the store's value-log garbage
+// accounting and relocation. All three run under the same per-node writer
+// latch as Insert, so they serialise with every other writer touching the
+// key; readers stay lock-free and observe either the old or the new value
+// word, both of which are committed states (an aligned 8-byte store is
+// failure- and concurrency-atomic in the paper's hardware contract).
+
+// Exchange stores val under key exactly like Insert, additionally returning
+// the value the key held before (existed reports whether there was one).
+// The store layer needs the displaced word to retire the value-log record
+// it may name.
+func (t *BTree) Exchange(th *pmem.Thread, key, val uint64) (old uint64, existed bool, err error) {
+	th.BeginPhase(pmem.PhaseSearch)
+	defer th.EndPhase()
+
+	n := t.descendToLeaf(th, key)
+	t.lockNode(th, n)
+	n = t.moveRightLocked(th, n, key)
+	t.fixNodeLocked(th, n)
+
+	if t.opts.InlineValues && val == 0 {
+		t.unlockNode(th, n)
+		return 0, false, fmt.Errorf("%w: InlineValues forbids zero values", ErrBadOptions)
+	}
+	if pos := t.findPosLocked(th, n, key); pos >= 0 {
+		th.BeginPhase(pmem.PhaseUpdate)
+		if t.opts.InlineValues {
+			old = t.ptrAt(th, n, pos)
+			t.storePtr(th, n, pos, val)
+			th.Flush(t.slotOff(n, pos)+8, 8)
+		} else {
+			box := int64(t.ptrAt(th, n, pos))
+			old = th.Load(box)
+			th.Store(box, val)
+			th.Flush(box, 8)
+		}
+		t.unlockNode(th, n)
+		return old, true, nil
+	}
+
+	box := val
+	if !t.opts.InlineValues {
+		var err error
+		box, err = t.newBox(th, val)
+		if err != nil {
+			t.unlockNode(th, n)
+			return 0, false, err
+		}
+	}
+	th.BeginPhase(pmem.PhaseUpdate)
+	return 0, false, t.insertIntoNode(th, n, 0, key, box)
+}
+
+// ReplaceIf atomically replaces key's value old→new, refusing (and
+// reporting false) when the key is absent or no longer holds old. It is
+// the conditional swap value-log GC commits relocations with: a concurrent
+// overwrite or delete between the GC's copy and its swap changes the value
+// word, so the stale relocation is refused instead of clobbering fresher
+// data. The compare and the store happen under the leaf latch, which every
+// writer path (Insert, Exchange, Delete) also takes, so the
+// compare-and-swap is atomic with respect to them.
+//
+// An ABA false-positive would need the value word to return to `old` while
+// the relocation is in flight; for value-log refs that cannot happen, since
+// a ref's offset can only be handed out again after its extent is freed,
+// which the GC does strictly after this swap.
+func (t *BTree) ReplaceIf(th *pmem.Thread, key, old, new uint64) bool {
+	th.BeginPhase(pmem.PhaseSearch)
+	defer th.EndPhase()
+
+	n := t.descendToLeaf(th, key)
+	t.lockNode(th, n)
+	n = t.moveRightLocked(th, n, key)
+	t.fixNodeLocked(th, n)
+
+	pos := t.findPosLocked(th, n, key)
+	if pos < 0 {
+		t.unlockNode(th, n)
+		return false
+	}
+	th.BeginPhase(pmem.PhaseUpdate)
+	swapped := false
+	if t.opts.InlineValues {
+		// The record pointer is the value; zero would read as the array
+		// terminator, so it can never be installed.
+		if new != 0 && t.ptrAt(th, n, pos) == old {
+			t.storePtr(th, n, pos, new)
+			th.Flush(t.slotOff(n, pos)+8, 8)
+			swapped = true
+		}
+	} else {
+		box := int64(t.ptrAt(th, n, pos))
+		if th.Load(box) == old {
+			th.Store(box, new)
+			th.Flush(box, 8)
+			swapped = true
+		}
+	}
+	t.unlockNode(th, n)
+	return swapped
+}
+
+// Remove is Delete returning the value the key held, so the caller can
+// retire a value-log record the displaced word names.
+func (t *BTree) Remove(th *pmem.Thread, key uint64) (old uint64, existed bool) {
+	th.BeginPhase(pmem.PhaseSearch)
+	defer th.EndPhase()
+
+	n := t.descendToLeaf(th, key)
+	t.lockNode(th, n)
+	n = t.moveRightLocked(th, n, key)
+	t.fixNodeLocked(th, n)
+
+	pos := t.findPosLocked(th, n, key)
+	if pos < 0 {
+		t.unlockNode(th, n)
+		return 0, false
+	}
+	if t.opts.InlineValues {
+		old = t.ptrAt(th, n, pos)
+	} else {
+		old = th.Load(int64(t.ptrAt(th, n, pos)))
+	}
+	th.BeginPhase(pmem.PhaseUpdate)
+	t.fastDelete(th, n, pos)
+	t.unlockNode(th, n)
+	return old, true
+}

@@ -31,7 +31,7 @@ func crashAppendMatrix(t *testing.T, model pmem.MemModel, extSize int64, valSize
 	var comVals [][]byte
 	for i := 0; i < 20; i++ {
 		v := testValue(rng, rng.Intn(120))
-		ref, err := l.Append(th, v)
+		ref, err := l.Append(th, uint64(i+1), v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +42,7 @@ func crashAppendMatrix(t *testing.T, model pmem.MemModel, extSize int64, valSize
 	for _, n := range valSizes {
 		p.StartCrashLog()
 		inflight := testValue(rng, n)
-		ref, err := l.Append(th, inflight)
+		ref, err := l.Append(th, uint64(1000+n), inflight)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +71,7 @@ func crashAppendMatrix(t *testing.T, model pmem.MemModel, extSize int64, valSize
 					}
 				}
 				// The recovered log keeps appending and reading.
-				nref, err := rl.Append(ith, []byte("post-crash"))
+				nref, err := rl.Append(ith, 31337, []byte("post-crash"))
 				if err != nil {
 					t.Fatalf("val %d point %d mode %d: post-recovery append: %v", n, point, mode, err)
 				}
@@ -126,7 +126,7 @@ func TestCrashCampaignRandomPoints(t *testing.T) {
 		marks := []int{0}
 		for i := 0; i < 40; i++ {
 			v := testValue(rng, rng.Intn(600))
-			ref, err := l.Append(th, v)
+			ref, err := l.Append(th, uint64(i+1), v)
 			if err != nil {
 				t.Fatal(err)
 			}

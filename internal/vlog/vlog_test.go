@@ -37,7 +37,7 @@ func TestAppendReadRoundTrip(t *testing.T) {
 	refs := make([]Ref, len(sizes))
 	for i, n := range sizes {
 		vals[i] = testValue(rng, n)
-		refs[i], err = l.Append(th, vals[i])
+		refs[i], err = l.Append(th, uint64(i+1), vals[i])
 		if err != nil {
 			t.Fatalf("append %d bytes: %v", n, err)
 		}
@@ -69,7 +69,7 @@ func TestReadAppendsToDst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := l.Append(th, []byte("world"))
+	ref, err := l.Append(th, 1, []byte("world"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestBadRefs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := l.Append(th, []byte("payload"))
+	ref, err := l.Append(th, 7, []byte("payload"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestBadRefs(t *testing.T) {
 			t.Errorf("%s: err = %v, want ErrBadRef", tc.name, err)
 		}
 	}
-	if _, err := l.Append(th, make([]byte, MaxValue+1)); !errors.Is(err, ErrTooLarge) {
+	if _, err := l.Append(th, 8, make([]byte, MaxValue+1)); !errors.Is(err, ErrTooLarge) {
 		t.Errorf("oversized append: err = %v, want ErrTooLarge", err)
 	}
 }
@@ -120,7 +120,7 @@ func TestOversizedValueGetsOwnExtent(t *testing.T) {
 		t.Fatal(err)
 	}
 	big := testValue(rand.New(rand.NewSource(2)), 100_000)
-	ref, err := l.Append(th, big)
+	ref, err := l.Append(th, 9, big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestOversizedValueGetsOwnExtent(t *testing.T) {
 		t.Fatalf("big read: %v, %d bytes", err, len(got))
 	}
 	// The log keeps working in regular extents afterwards.
-	small, err := l.Append(th, []byte("after"))
+	small, err := l.Append(th, 10, []byte("after"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestPoolExhaustion(t *testing.T) {
 	}
 	var lastErr error
 	for i := 0; i < 100; i++ {
-		if _, lastErr = l.Append(th, make([]byte, 4<<10)); lastErr != nil {
+		if _, lastErr = l.Append(th, uint64(i+1), make([]byte, 4<<10)); lastErr != nil {
 			break
 		}
 	}
@@ -168,7 +168,7 @@ func TestReopenCleanImage(t *testing.T) {
 	var vals [][]byte
 	for i := 0; i < 200; i++ {
 		v := testValue(rng, rng.Intn(300))
-		ref, err := l.Append(th, v)
+		ref, err := l.Append(th, uint64(i+1), v)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,7 +186,7 @@ func TestReopenCleanImage(t *testing.T) {
 		}
 	}
 	// And it accepts new appends.
-	ref, err := re.Append(th, []byte("fresh"))
+	ref, err := re.Append(th, 999, []byte("fresh"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,8 +213,8 @@ func TestConcurrentReadersOneAppender(t *testing.T) {
 	}
 	refCh := make(chan Ref, nVals)
 	go func() {
-		for _, v := range vals {
-			ref, err := l.Append(wth, v)
+		for i, v := range vals {
+			ref, err := l.Append(wth, uint64(i+1), v)
 			if err != nil {
 				break
 			}

@@ -382,13 +382,17 @@ func (c *conn) serve(ss *store.Session, req *wire.Request) svResp {
 		resp.VPairs = vb.pairs
 	case wire.OpStats:
 		st := s.Stats()
+		vs := s.st.ValueStats()
 		resp.Stats = wire.Stats{
-			Ops:        st.Ops,
-			Errors:     st.Errors,
-			BytesIn:    st.BytesIn,
-			BytesOut:   st.BytesOut,
-			ConnsLive:  st.ConnsLive,
-			ConnsTotal: st.ConnsTotal,
+			Ops:           st.Ops,
+			Errors:        st.Errors,
+			BytesIn:       st.BytesIn,
+			BytesOut:      st.BytesOut,
+			ConnsLive:     st.ConnsLive,
+			ConnsTotal:    st.ConnsTotal,
+			VlogLive:      uint64(vs.Live),
+			VlogGarbage:   uint64(vs.Garbage),
+			VlogReclaimed: uint64(vs.Reclaimed),
 		}
 	default:
 		return fail(errors.New("server: unhandled opcode " + req.Op.String()))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/index"
 	"repro/internal/vlog"
 )
 
@@ -12,25 +13,31 @@ import (
 // value to the shard's log and stores the returned Ref — one uint64 — in
 // the tree, so the tree's 8-byte failure-atomic store discipline is
 // untouched. GetBytes resolves the Ref back to bytes, validating the log
-// record's header and checksum on the way.
+// record's owner key, header and checksum on the way.
 //
 // Crash atomicity composes from the two layers' own guarantees: the log
 // record is fully durable before its Ref exists anywhere (the log tail
-// publish is ordered after the record flush, and the tree Insert starts
-// only after Append returns), and the tree insert of the Ref is the
+// publish is ordered after the record flush, and the tree insert of the
+// Ref starts only after Append returns), and the tree insert is the
 // paper's single atomic 8-byte store. A crash mid-PutBytes therefore
 // leaves either no trace (record unreachable, truncated by Reopen) or a
 // leaked-but-intact record (tail published, tree insert lost) — never a
 // torn value behind a live key.
 //
+// Overwriting or deleting a varlen key turns the old record into garbage;
+// the displaced tree word is fed to the shard's accounting (every path
+// that displaces a word — Put, PutBytes, PutBatch, Delete, DeleteBytes —
+// goes through retireWord, the one place stale bytes are counted), and
+// value-log GC reclaims the space (Options.GCGarbageRatio,
+// Session.CompactValues; see gc.go for the full reclamation argument).
+//
 // Fixed-width (Put/Get) and varlen (PutBytes/GetBytes) values share one
 // tree per shard, so a single key must be used through one API
 // consistently. The store cannot tell a fixed value from a Ref by looking
 // at the word; it tells them apart at read time, when a fixed value fails
-// the log's Ref validation (GetBytes on it returns ErrNotVarlen) — while
-// Get on a varlen key returns the raw Ref, which is meaningless but
-// harmless. Overwriting or deleting a varlen key strands the old record
-// as garbage in the log until a future compaction pass.
+// the log's record validation (GetBytes on it returns ErrNotVarlen) —
+// while Get on a varlen key returns the raw Ref, which is meaningless but
+// harmless.
 
 // MaxValue is the largest value PutBytes accepts: 1 MiB less the wire
 // protocol's frame headroom, equal to wire.MaxValue (asserted by a server
@@ -52,8 +59,8 @@ var (
 )
 
 // wrapReadErr classifies a vlog read failure: checksum failures are
-// corruption, everything else (bad offset, header/ref disagreement) is a
-// fixed-width key read through the varlen API.
+// corruption, everything else (bad offset, header/key/ref disagreement) is
+// a fixed-width key read through the varlen API.
 func wrapReadErr(key uint64, err error) error {
 	if errors.Is(err, vlog.ErrCorrupt) {
 		return fmt.Errorf("%w (key %d): %v", ErrValueCorrupt, key, err)
@@ -61,10 +68,29 @@ func wrapReadErr(key uint64, err error) error {
 	return fmt.Errorf("%w (key %d): %v", ErrNotVarlen, key, err)
 }
 
+// retireWord is the single funnel for garbage accounting: every operation
+// that displaces a tree word hands it here, and the value log decides —
+// by validating the word against the record it would name — whether it
+// was a varlen reference whose bytes just became garbage. Fixed-width
+// values fail the validation and change nothing, which is what makes
+// Delete/DeleteBytes on never-varlen keys account consistently (nothing
+// to reclaim, nothing counted).
+func (ss *Session) retireWord(i int, key uint64, old uint64) bool {
+	return ss.s.shards[i].vl.MarkStale(ss.ths[i], key, vlog.Ref(old))
+}
+
 // PutBytes stores val as a byte-string value under key, replacing any
 // existing value (fixed or varlen). The value is durable when PutBytes
 // returns; a crash mid-call can only lose the whole update, never expose
-// a torn or partial value. On a closed store it returns ErrClosed.
+// a torn or partial value. An overwrite retires the old record's bytes to
+// the shard's garbage accounting and may run an automatic GC pass (see
+// Options.GCGarbageRatio). On a closed store it returns ErrClosed.
+//
+// The append and the tree install happen inside the shard's reclamation
+// read-lock: a GC fence must not complete while a record exists whose ref
+// is still on its way into the tree, or the pass could judge that record
+// dead, free its extent, and let the install land on recycled memory (see
+// gc.go). The lock is shared — writers never wait on each other here.
 func (ss *Session) PutBytes(key uint64, val []byte) error {
 	if len(val) > MaxValue {
 		return fmt.Errorf("%w: %d > %d bytes", ErrValueTooLarge, len(val), MaxValue)
@@ -72,20 +98,76 @@ func (ss *Session) PutBytes(key uint64, val []byte) error {
 	if !ss.s.acquire() {
 		return ErrClosed
 	}
-	defer ss.s.release()
 	i := ss.s.ShardFor(key)
 	sh := &ss.s.shards[i]
-	ref, err := sh.vl.Append(ss.ths[i], val)
+	sh.gc.varMu.RLock()
+	ref, err := sh.vl.Append(ss.ths[i], key, val)
 	if err != nil {
+		sh.gc.varMu.RUnlock()
+		ss.s.release()
 		return fmt.Errorf("store: shard %d value log: %w", i, err)
 	}
-	return sh.ix.Insert(ss.ths[i], key, uint64(ref))
+	old, existed, err := index.Exchange(sh.ix, ss.ths[i], key, uint64(ref))
+	if err != nil {
+		// The appended record is leaked until GC finds it dead; the
+		// operation itself failed cleanly.
+		sh.gc.varMu.RUnlock()
+		ss.s.release()
+		return err
+	}
+	stale := existed && ss.retireWord(i, key, old)
+	sh.gc.varMu.RUnlock()
+	ss.s.release()
+	if stale {
+		ss.maybeGC(i)
+	}
+	return nil
+}
+
+// readCurrent resolves key's current value through the tree. The caller
+// must hold the shard's reclamation read-lock (gc.varMu.RLock), which
+// pins every record the tree currently names: GC cannot complete its
+// pre-free fence while we are inside it.
+//
+// One subtlety forces the retry loop: the tree's lock-free read protocol
+// lets a reader racing a Delete observe the pre-delete value word (value
+// boxes are never recycled, so that word is stable — but the log record
+// it names stopped being referenced the moment the delete committed, and
+// an already-running GC pass may have reclaimed it, reader lock
+// notwithstanding: the lock only protects records the tree still names).
+// Such a dangling ref fails the record validation (owner key, header,
+// checksum); re-reading the tree then either shows the key gone (the
+// delete won — report absent), or a fresh word from a racing re-insert
+// (resolve that instead). Only a word that fails validation AND re-reads
+// unchanged is a genuine classification: a fixed-width value (ErrNotVarlen)
+// or real corruption.
+func (ss *Session) readCurrent(i int, key uint64, dst []byte) ([]byte, bool, error) {
+	sh := &ss.s.shards[i]
+	ref, ok := sh.ix.Get(ss.ths[i], key)
+	for {
+		if !ok {
+			return dst, false, nil
+		}
+		out, err := sh.vl.ReadKeyed(ss.ths[i], key, vlog.Ref(ref), dst)
+		if err == nil {
+			return out, true, nil
+		}
+		ref2, ok2 := sh.ix.Get(ss.ths[i], key)
+		if ok2 && ref2 == ref {
+			return dst, false, wrapReadErr(key, err)
+		}
+		ref, ok = ref2, ok2
+	}
 }
 
 // GetBytes returns the byte-string value stored under key, appended to dst
 // (pass nil, or a recycled buffer, to control allocation). The middle
 // return reports presence. A key written through the fixed-width Put API
 // fails with ErrNotVarlen. On a closed store it returns ErrClosed.
+//
+// The ref load and the record read happen inside the shard's reclamation
+// read-lock, so a concurrent GC pass cannot free a record the tree names
+// mid-read (see gc.go).
 func (ss *Session) GetBytes(key uint64, dst []byte) ([]byte, bool, error) {
 	if !ss.s.acquire() {
 		return dst, false, ErrClosed
@@ -93,23 +175,45 @@ func (ss *Session) GetBytes(key uint64, dst []byte) ([]byte, bool, error) {
 	defer ss.s.release()
 	i := ss.s.ShardFor(key)
 	sh := &ss.s.shards[i]
-	ref, ok := sh.ix.Get(ss.ths[i], key)
-	if !ok {
-		return dst, false, nil
-	}
-	out, err := sh.vl.Read(ss.ths[i], vlog.Ref(ref), dst)
-	if err != nil {
-		return dst, false, wrapReadErr(key, err)
-	}
-	return out, true, nil
+	sh.gc.varMu.RLock()
+	defer sh.gc.varMu.RUnlock()
+	return ss.readCurrent(i, key, dst)
 }
 
 // DeleteBytes removes a varlen key, reporting whether it was present. The
-// tree entry disappears atomically; the value's log record becomes
-// garbage until compaction. It is Delete with a name that documents the
-// varlen discipline — the two are interchangeable for removal.
+// tree entry disappears atomically; the value's log record is retired to
+// the garbage accounting and reclaimed by GC. It is Delete with a name
+// that documents the varlen discipline — the two are interchangeable for
+// removal, and a delete of a never-varlen (fixed-width) key feeds nothing
+// to the reclaim stats through the same retireWord funnel.
 func (ss *Session) DeleteBytes(key uint64) (bool, error) {
 	return ss.Delete(key)
+}
+
+// resolveScanRef resolves one collected (key, word) pair to value bytes
+// under the shard's reclamation read-lock. A collected ref is a snapshot:
+// GC may have relocated and freed the record since ScanLimit read the
+// tree, so on validation failure the authoritative ref is re-read from the
+// tree under the same lock — GC cannot complete a free while we hold it —
+// and a key deleted in the meantime is skipped.
+func (ss *Session) resolveScanRef(kv KV) (val []byte, skip bool, err error) {
+	i := ss.s.ShardFor(kv.Key)
+	sh := &ss.s.shards[i]
+	sh.gc.varMu.RLock()
+	defer sh.gc.varMu.RUnlock()
+	buf, err := sh.vl.ReadKeyed(ss.ths[i], kv.Key, vlog.Ref(kv.Val), ss.valBuf[:0])
+	if err != nil {
+		var ok bool
+		buf, ok, err = ss.readCurrent(i, kv.Key, ss.valBuf[:0])
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, true, nil
+		}
+	}
+	ss.valBuf = buf
+	return buf, false, nil
 }
 
 // ScanBytes visits varlen pairs with lo <= key <= hi in ascending global
@@ -122,7 +226,9 @@ func (ss *Session) DeleteBytes(key uint64) (bool, error) {
 // read-uncommitted and bounded: at most max pairs are returned per call,
 // so callers paginate with lo = lastKey+1. A fixed-width key inside the
 // range aborts the scan with ErrNotVarlen: keep fixed and varlen keys in
-// disjoint ranges if both share a store. On a closed store it returns
+// disjoint ranges if both share a store. Pairs whose key is concurrently
+// deleted mid-resolution are skipped; a pair relocated by a concurrent GC
+// pass is transparently re-resolved. On a closed store it returns
 // ErrClosed.
 func (ss *Session) ScanBytes(lo, hi uint64, max int, fn func(key uint64, val []byte) bool) error {
 	if max <= 0 || max > maxScanPage {
@@ -137,13 +243,14 @@ func (ss *Session) ScanBytes(lo, hi uint64, max int, fn func(key uint64, val []b
 		return err
 	}
 	for _, kv := range kvs {
-		i := ss.s.ShardFor(kv.Key)
-		buf, err := ss.s.shards[i].vl.Read(ss.ths[i], vlog.Ref(kv.Val), ss.valBuf[:0])
+		val, skip, err := ss.resolveScanRef(kv)
 		if err != nil {
-			return wrapReadErr(kv.Key, err)
+			return err
 		}
-		ss.valBuf = buf
-		if !fn(kv.Key, buf) {
+		if skip {
+			continue
+		}
+		if !fn(kv.Key, val) {
 			return nil
 		}
 	}

@@ -1,6 +1,9 @@
 package store
 
-import "repro/internal/pmem"
+import (
+	"repro/index"
+	"repro/internal/pmem"
+)
 
 // Session is a goroutine's handle on the store. It owns one pmem.Thread per
 // shard, so callers never thread *pmem.Thread by hand: open one Session per
@@ -57,15 +60,22 @@ type KV struct {
 }
 
 // Put stores val under key, replacing any existing value. Completed Puts
-// are persistent; an in-flight Put is atomic under any crash. On a closed
-// store it returns ErrClosed.
+// are persistent; an in-flight Put is atomic under any crash. Overwriting
+// a key that held a varlen value retires the old log record through the
+// same accounting funnel as PutBytes (see retireWord). On a closed store
+// it returns ErrClosed.
 func (ss *Session) Put(key, val uint64) error {
 	if !ss.s.acquire() {
 		return ErrClosed
 	}
-	defer ss.s.release()
 	i := ss.s.ShardFor(key)
-	return ss.s.shards[i].ix.Insert(ss.ths[i], key, val)
+	old, existed, err := index.Exchange(ss.s.shards[i].ix, ss.ths[i], key, val)
+	stale := err == nil && existed && old != val && ss.retireWord(i, key, old)
+	ss.s.release()
+	if stale {
+		ss.maybeGC(i)
+	}
+	return err
 }
 
 // Get returns the value stored under key. On a closed store it returns
@@ -80,23 +90,34 @@ func (ss *Session) Get(key uint64) (uint64, bool, error) {
 	return v, ok, nil
 }
 
-// Delete removes key, reporting whether it was present. On a closed store it
-// returns ErrClosed.
+// Delete removes key, reporting whether it was present. A varlen key's log
+// record is retired to the garbage accounting (and may trigger automatic
+// GC); a fixed-width key's displaced word fails the record validation and
+// feeds nothing, so the reclaim stats stay consistent whichever API wrote
+// the key. On a closed store it returns ErrClosed.
 func (ss *Session) Delete(key uint64) (bool, error) {
 	if !ss.s.acquire() {
 		return false, ErrClosed
 	}
-	defer ss.s.release()
 	i := ss.s.ShardFor(key)
-	return ss.s.shards[i].ix.Delete(ss.ths[i], key), nil
+	old, existed := index.Remove(ss.s.shards[i].ix, ss.ths[i], key)
+	stale := existed && ss.retireWord(i, key, old)
+	ss.s.release()
+	if stale {
+		ss.maybeGC(i)
+	}
+	return existed, nil
 }
 
 // PutBatch groups the pairs by shard and inserts each group on its own
 // goroutine, so a bulk load drives every shard in parallel from one call.
 // Pairs within a shard apply in slice order (later duplicates win); each
 // pair is individually atomic, there is no cross-pair transaction. The
-// first error aborts that shard's remaining pairs and is returned. On a
-// closed store it returns ErrClosed without applying any pair.
+// first error aborts that shard's remaining pairs and is returned.
+// Displaced varlen records retire through the same accounting funnel as
+// every other write path, and shards whose batch created garbage may run
+// an automatic GC pass before PutBatch returns. On a closed store it
+// returns ErrClosed without applying any pair.
 func (ss *Session) PutBatch(pairs []KV) error {
 	if len(pairs) == 0 {
 		return nil
@@ -104,7 +125,6 @@ func (ss *Session) PutBatch(pairs []KV) error {
 	if !ss.s.acquire() {
 		return ErrClosed
 	}
-	defer ss.s.release()
 	n := len(ss.ths)
 	groups := make([][]KV, n)
 	for _, kv := range pairs {
@@ -112,6 +132,7 @@ func (ss *Session) PutBatch(pairs []KV) error {
 		groups[i] = append(groups[i], kv)
 	}
 	errs := make(chan error, n)
+	stale := make([]bool, n)
 	active := 0
 	for i, g := range groups {
 		if len(g) == 0 {
@@ -121,9 +142,13 @@ func (ss *Session) PutBatch(pairs []KV) error {
 		go func(i int, g []KV) {
 			ix, th := ss.s.shards[i].ix, ss.ths[i]
 			for _, kv := range g {
-				if err := ix.Insert(th, kv.Key, kv.Val); err != nil {
+				old, existed, err := index.Exchange(ix, th, kv.Key, kv.Val)
+				if err != nil {
 					errs <- err
 					return
+				}
+				if existed && old != kv.Val && ss.retireWord(i, kv.Key, old) {
+					stale[i] = true
 				}
 			}
 			errs <- nil
@@ -135,7 +160,16 @@ func (ss *Session) PutBatch(pairs []KV) error {
 			first = err
 		}
 	}
-	return first
+	ss.s.release()
+	for i, st := range stale {
+		if st {
+			ss.maybeGC(i)
+		}
+	}
+	if first != nil {
+		return first
+	}
+	return nil
 }
 
 // Len counts the keys across all shards (full scans; not a hot path). On a

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +58,14 @@ type Options struct {
 	// default scaled to ShardSize; oversized values allocate one-off
 	// larger extents regardless.
 	ValueLogExtent int64
+	// GCGarbageRatio triggers automatic value-log compaction: when a
+	// varlen overwrite or delete pushes a shard's garbage fraction
+	// (garbage / (live+garbage) payload bytes) to or above this ratio —
+	// and at least one extent's worth of garbage has accumulated — the
+	// writing session runs a GC pass on that shard before returning.
+	// 0 selects the default of 0.5; a negative value disables automatic
+	// GC entirely (Session.CompactValues still compacts on demand).
+	GCGarbageRatio float64
 }
 
 // LatencyOptions is the external-facing slice of pmem.Config: the emulated
@@ -92,6 +101,9 @@ func (o *Options) fill() error {
 	}
 	if o.Kind == "" {
 		o.Kind = index.FastFair
+	}
+	if o.GCGarbageRatio == 0 {
+		o.GCGarbageRatio = 0.5
 	}
 	if o.ValueLogExtent == 0 {
 		// Scale the growth unit to the shard: 1/64 of the arena keeps
@@ -160,6 +172,25 @@ type shard struct {
 	pool *pmem.Pool
 	ix   index.Index
 	vl   *vlog.Log
+	gc   *shardGC
+}
+
+// shardGC is a shard's volatile GC coordination state. It lives behind a
+// pointer so shard values stay copyable.
+type shardGC struct {
+	// varMu is the reclamation gate: every resolution of a tree word
+	// into value-log bytes holds it shared for the load-ref/read-record
+	// window, and a GC pass acquires it exclusively (and immediately
+	// releases it) between retargeting the tree refs and freeing the
+	// drained extent. The exclusive acquire cannot complete until every
+	// reader that might hold a pre-swap ref snapshot has drained, and
+	// any reader arriving later re-reads the tree, which no longer names
+	// the extent — so no reader can ever dereference freed log space.
+	// Writers (appends) never take it: they hold no record references.
+	varMu sync.RWMutex
+	// runMu serialises GC passes per shard; automatic triggers TryLock
+	// it so concurrent writers never queue behind one another's passes.
+	runMu sync.Mutex
 }
 
 // Open creates a fresh store: opts.Shards pools, one index per pool, each
@@ -185,7 +216,7 @@ func Open(opts Options) (*Store, error) {
 		p.SetRoot(th, stampSlot, stamp(i, opts.Shards))
 		p.SetRoot(th, shapeSlot, shape(opts.Kind, opts.NodeSize))
 		th.Release()
-		s.shards[i] = shard{pool: p, ix: ix, vl: vl}
+		s.shards[i] = shard{pool: p, ix: ix, vl: vl, gc: &shardGC{}}
 	}
 	return s, nil
 }
@@ -240,8 +271,29 @@ func Reopen(pools []*pmem.Pool, opts Options) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: shard %d value log recovery: %w", i, err)
 		}
+		// Rebuild the live/garbage accounting the crash discarded (it is
+		// volatile): the log walk gives the total surviving payload, the
+		// tree walk the subset still referenced. The difference is
+		// garbage the next GC pass can reclaim — without this, a store
+		// reopened after heavy churn would never trigger automatic GC.
+		cs, err := vl.Check(th)
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d value log check: %w", i, err)
+		}
+		var live int64
+		ix.Scan(th, 0, ^uint64(0), func(k, v uint64) bool {
+			if r := vlog.Ref(v); vl.IsRecord(th, k, r) {
+				live += int64(r.Len())
+			}
+			return true
+		})
+		garbage := cs.Bytes - live
+		if garbage < 0 {
+			garbage = 0
+		}
+		vl.ResetAccounting(live, garbage)
 		th.Release()
-		s.shards[i] = shard{pool: p, ix: ix, vl: vl}
+		s.shards[i] = shard{pool: p, ix: ix, vl: vl, gc: &shardGC{}}
 	}
 	return s, nil
 }
@@ -321,6 +373,51 @@ func (s *Store) CheckInvariants() error {
 		}
 	}
 	return nil
+}
+
+// ValueLogStats aggregates the shards' value-log space accounting in plain
+// fields (no internal types leak; see ROADMAP on API hygiene). All byte
+// counts are payload bytes except Reclaimed and Cap, which are arena bytes.
+type ValueLogStats struct {
+	// Live is the payload still referenced by the trees; Garbage the
+	// payload of overwritten or deleted records not yet reclaimed.
+	Live, Garbage int64
+	// Cap is the record space across allocated extents; Reclaimed the
+	// cumulative arena bytes GC has returned to the pools.
+	Cap, Reclaimed int64
+	// Relocated counts records GC copied forward; GCPasses the extents
+	// it reclaimed.
+	Relocated, GCPasses int64
+}
+
+// GarbageRatio is the garbage fraction of the accounted payload, in [0,1].
+func (v ValueLogStats) GarbageRatio() float64 {
+	total := v.Live + v.Garbage
+	if total <= 0 {
+		return 0
+	}
+	return float64(v.Garbage) / float64(total)
+}
+
+// ValueStats aggregates the value-log accounting across shards. It is
+// counter-backed (no log walk) and safe to call concurrently with any
+// operation.
+func (s *Store) ValueStats() ValueLogStats {
+	var out ValueLogStats
+	if !s.acquire() {
+		return out
+	}
+	defer s.release()
+	for _, sh := range s.shards {
+		st := sh.vl.QuickStats()
+		out.Live += st.Live
+		out.Garbage += st.Garbage
+		out.Cap += st.Cap
+		out.Reclaimed += st.Reclaimed
+		out.Relocated += st.Relocated
+		out.GCPasses += st.GCPasses
+	}
+	return out
 }
 
 // Stats aggregates the released-thread statistics of every shard pool.

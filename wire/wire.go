@@ -106,14 +106,19 @@ type VKV struct {
 	Val []byte
 }
 
-// Stats is the counter snapshot a StatusOK Stats response carries.
+// Stats is the counter snapshot a StatusOK Stats response carries. The
+// Vlog* fields surface the store's value-log space accounting (varlen
+// values live behind a log the server compacts; see the store package).
 type Stats struct {
-	Ops        uint64 // requests served
-	Errors     uint64 // requests answered with StatusErr or StatusClosed
-	BytesIn    uint64 // request bytes read, including frame headers
-	BytesOut   uint64 // response bytes written, including frame headers
-	ConnsLive  uint64 // currently open connections
-	ConnsTotal uint64 // connections accepted since start
+	Ops           uint64 // requests served
+	Errors        uint64 // requests answered with StatusErr or StatusClosed
+	BytesIn       uint64 // request bytes read, including frame headers
+	BytesOut      uint64 // response bytes written, including frame headers
+	ConnsLive     uint64 // currently open connections
+	ConnsTotal    uint64 // connections accepted since start
+	VlogLive      uint64 // value-log payload bytes the store still references
+	VlogGarbage   uint64 // value-log payload bytes awaiting GC
+	VlogReclaimed uint64 // arena bytes value-log GC has returned to the pools
 }
 
 // Request is a decoded request frame. Fields beyond ID and Op are meaningful
@@ -161,7 +166,7 @@ var be = binary.BigEndian
 const (
 	reqHeader  = 8 + 1
 	respHeader = 8 + 1 + 1
-	statsWords = 6
+	statsWords = 9
 )
 
 // ReadFrame reads one length-prefixed frame body from r. scratch, if large
@@ -357,6 +362,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 			for _, v := range [statsWords]uint64{
 				r.Stats.Ops, r.Stats.Errors, r.Stats.BytesIn,
 				r.Stats.BytesOut, r.Stats.ConnsLive, r.Stats.ConnsTotal,
+				r.Stats.VlogLive, r.Stats.VlogGarbage, r.Stats.VlogReclaimed,
 			} {
 				dst = be.AppendUint64(dst, v)
 			}
@@ -488,12 +494,15 @@ func DecodeResponse(body []byte) (Response, error) {
 			return r, malformed("Stats response payload %d bytes, want %d", len(p), statsWords*8)
 		}
 		r.Stats = Stats{
-			Ops:        be.Uint64(p),
-			Errors:     be.Uint64(p[8:]),
-			BytesIn:    be.Uint64(p[16:]),
-			BytesOut:   be.Uint64(p[24:]),
-			ConnsLive:  be.Uint64(p[32:]),
-			ConnsTotal: be.Uint64(p[40:]),
+			Ops:           be.Uint64(p),
+			Errors:        be.Uint64(p[8:]),
+			BytesIn:       be.Uint64(p[16:]),
+			BytesOut:      be.Uint64(p[24:]),
+			ConnsLive:     be.Uint64(p[32:]),
+			ConnsTotal:    be.Uint64(p[40:]),
+			VlogLive:      be.Uint64(p[48:]),
+			VlogGarbage:   be.Uint64(p[56:]),
+			VlogReclaimed: be.Uint64(p[64:]),
 		}
 	default:
 		return r, malformed("unknown opcode %d", uint8(r.Op))

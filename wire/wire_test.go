@@ -37,6 +37,7 @@ func responseCases() []Response {
 		{ID: 7, Op: OpScan, Status: StatusOK, Pairs: []KV{}},
 		{ID: 8, Op: OpStats, Status: StatusOK, Stats: Stats{
 			Ops: 1, Errors: 2, BytesIn: 3, BytesOut: 4, ConnsLive: 5, ConnsTotal: 6,
+			VlogLive: 7, VlogGarbage: 8, VlogReclaimed: 9,
 		}},
 		{ID: 9, Op: OpPut, Status: StatusErr, Msg: "shard 3: arena exhausted"},
 		{ID: 10, Op: OpGet, Status: StatusClosed, Msg: "store: closed"},
