@@ -52,7 +52,9 @@ type Options struct {
 	// MaxFrame caps an incoming response frame. Default wire.MaxFrame.
 	MaxFrame uint32
 	// SendQueue is the number of requests that may sit between callers
-	// and the socket writer before issuing blocks. Default 256.
+	// and the socket writer before issuing blocks. It is also the
+	// writer's coalescing window: everything queued when the writer
+	// wakes goes out in one Write. Default 1024.
 	SendQueue int
 }
 
@@ -64,7 +66,7 @@ func (o *Options) fill() {
 		o.MaxFrame = wire.MaxFrame
 	}
 	if o.SendQueue <= 0 {
-		o.SendQueue = 256
+		o.SendQueue = 1024
 	}
 }
 
@@ -159,28 +161,35 @@ func (c *Conn) start(req wire.Request) *Call {
 	return call
 }
 
-// writeLoop encodes queued requests into a buffered writer, flushing when
-// the queue momentarily drains.
+// maxWriteSlab caps the bytes one writer wakeup coalesces into a single
+// Write: deep enough to amortize the syscall across a pipelined burst,
+// shallow enough to keep frames flowing while a huge queue drains.
+const maxWriteSlab = 256 << 10
+
+// writeLoop drains the send queue into a reused slab and ships each slab
+// with one Write call: every request queued by the time the writer wakes
+// rides the same syscall, so deep pipelining costs syscalls logarithmically
+// rather than linearly.
 func (c *Conn) writeLoop() {
 	defer c.loops.Done()
-	bw := newBufWriter(c.nc)
-	var buf []byte
+	var slab []byte
 	for {
 		select {
 		case req := <-c.sendCh:
-			var err error
-			buf, err = wire.AppendRequest(buf[:0], &req)
-			if err != nil {
-				// An unencodable request (e.g. an oversized batch) is
-				// that call's own failure, not the connection's: fail
-				// it alone and keep the pipeline running.
-				c.failCall(req.ID, err)
-				continue
+			slab = c.appendReq(slab[:0], &req)
+		fill:
+			for len(slab) < maxWriteSlab {
+				select {
+				case req = <-c.sendCh:
+					slab = c.appendReq(slab, &req)
+				default:
+					break fill
+				}
 			}
-			if _, err = bw.Write(buf); err == nil && len(c.sendCh) == 0 {
-				err = bw.Flush()
+			if len(slab) == 0 {
+				continue // everything in the burst failed to encode
 			}
-			if err != nil {
+			if _, err := c.nc.Write(slab); err != nil {
 				c.terminate(fmt.Errorf("client: write: %w", err))
 				return
 			}
@@ -188,6 +197,18 @@ func (c *Conn) writeLoop() {
 			return
 		}
 	}
+}
+
+// appendReq encodes one request onto the slab. An unencodable request
+// (e.g. an oversized batch) is that call's own failure, not the
+// connection's: it is failed alone and the slab returned unchanged.
+func (c *Conn) appendReq(slab []byte, req *wire.Request) []byte {
+	out, err := wire.AppendRequest(slab, req)
+	if err != nil {
+		c.failCall(req.ID, err)
+		return slab
+	}
+	return out
 }
 
 // readLoop decodes response frames and completes their Calls.

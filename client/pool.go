@@ -8,12 +8,12 @@ import (
 	"repro/wire"
 )
 
-// ioBufSize sizes the per-connection buffered reader/writer; large enough
-// that a pipelined burst coalesces into few syscalls.
+// ioBufSize sizes the per-connection buffered reader; large enough that a
+// pipelined burst of responses coalesces into few read syscalls. (The
+// write side batches into a slab instead — see Conn.writeLoop.)
 const ioBufSize = 64 << 10
 
 func newBufReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, ioBufSize) }
-func newBufWriter(w io.Writer) *bufio.Writer { return bufio.NewWriterSize(w, ioBufSize) }
 
 // Pool is a fixed set of Conns to one server with round-robin dispatch.
 // With many goroutines sharing a Pool, each connection carries a slice of

@@ -1,31 +1,40 @@
 // Command benchdiff is the CI bench-regression gate: it re-runs the
-// repository's tracked hot-path figure in-process and compares the
-// throughput of every cell against the committed snapshot
-// (BENCH_hotpath.json), failing — exit status 1 — when any cell regresses
-// by more than the threshold.
+// repository's tracked figures in-process and compares the throughput of
+// every cell against the committed snapshots, failing — exit status 1 —
+// when any cell regresses by more than the threshold.
 //
 // Usage:
 //
-//	benchdiff [-runs 3] [-threshold 25] [-n 50000] [BENCH_hotpath.json]
+//	benchdiff [-runs 3] [-threshold 25] [-n 50000] [-scaling-n 20000]
+//	          [snapshot.json ...]
 //
-// Noise handling: the figure is re-run -runs times and each cell's BEST
-// throughput is compared, so a single descheduled run on a shared CI
-// machine cannot fail the gate; only a change that caps the cell's best
-// case does. The threshold is a percentage of the committed ops/s.
+// With no positional arguments it gates both committed snapshots:
+// BENCH_hotpath.json (the store and server hot-path rows) and
+// BENCH_server_scaling.json (the workers × conns × pipeline-depth sweep).
+// Each snapshot names the figures it holds through its table titles —
+// "Hot path ..." tables re-run FigHotpath at -n, "Server scaling ..."
+// tables re-run FigServerScaling at -scaling-n — so one binary gates every
+// tracked figure without per-figure flags.
 //
-// The comparison is absolute, so the snapshot's provenance matters: a
+// Noise handling: each needed figure is re-run -runs times and every
+// cell's BEST throughput is compared, so a single descheduled run on a
+// shared CI machine cannot fail the gate; only a change that caps the
+// cell's best case does. The threshold is a percentage of the committed
+// ops/s.
+//
+// The comparison is absolute, so the snapshots' provenance matters: a
 // baseline measured on faster hardware than the gate's runner reads as a
-// phantom regression. Refresh the committed snapshot from the CI run's
-// own uploaded BENCH_hotpath artifact (measured on runner hardware, at
-// the gate's -n), not from a development machine — then baseline and
-// measurement share a hardware class and the threshold only has to absorb
+// phantom regression. Refresh the committed snapshots from the CI run's
+// own uploaded artifacts (measured on runner hardware, at the gate's
+// scales), not from a development machine — then baseline and measurement
+// share a hardware class and the threshold only has to absorb
 // runner-to-runner noise.
 //
-// Cells are matched by name across all tables in the snapshot whose header
-// carries a "Kops/s" column; cells present on only one side are reported
-// but never fail the gate (they are new or retired figures, not
+// Cells are matched by name across all tables in the snapshots whose
+// header carries a "Kops/s" column; cells present on only one side are
+// reported but never fail the gate (they are new or retired figures, not
 // regressions). A missing snapshot file fails: the gate exists to keep the
-// snapshot honest.
+// snapshots honest.
 package main
 
 import (
@@ -33,7 +42,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 )
@@ -41,36 +52,49 @@ import (
 func main() {
 	runs := flag.Int("runs", 3, "benchmark repetitions; each cell's best run is compared")
 	threshold := flag.Float64("threshold", 25, "maximum tolerated regression, percent of the committed ops/s")
-	n := flag.Int("n", 50000, "operations per benchmark cell")
+	n := flag.Int("n", 50000, "operations per hot-path benchmark cell")
+	scalingN := flag.Int("scaling-n", 20000, "operations per server-scaling benchmark cell")
 	flag.Parse()
-	base := "BENCH_hotpath.json"
-	if flag.NArg() == 1 {
-		base = flag.Arg(0)
-	} else if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] [snapshot.json]")
-		os.Exit(2)
+	files := flag.Args()
+	if len(files) == 0 {
+		files = []string{"BENCH_hotpath.json", "BENCH_server_scaling.json"}
 	}
 
-	blob, err := os.ReadFile(base)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: read snapshot: %v\n", err)
-		os.Exit(1)
-	}
 	var committed []*bench.Table
-	if err := json.Unmarshal(blob, &committed); err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: parse %s: %v\n", base, err)
-		os.Exit(1)
+	for _, f := range files {
+		blob, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: read snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		var tables []*bench.Table
+		if err := json.Unmarshal(blob, &tables); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: parse %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		committed = append(committed, tables...)
 	}
 	want := cellRates(committed)
 	if len(want) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: no Kops/s cells in %s\n", base)
+		fmt.Fprintf(os.Stderr, "benchdiff: no Kops/s cells in %s\n", strings.Join(files, ", "))
+		os.Exit(1)
+	}
+
+	// The snapshots' table titles say which figures to re-run.
+	reruns := figuresFor(committed, *n, *scalingN)
+	if len(reruns) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no known figure titles in %s\n", strings.Join(files, ", "))
 		os.Exit(1)
 	}
 
 	// Fresh runs: keep the best throughput per cell across repetitions.
 	best := map[string]float64{}
 	for r := 0; r < *runs; r++ {
-		got := cellRates([]*bench.Table{bench.FigHotpath(bench.HotpathConfig{Ops: *n})})
+		var produced []*bench.Table
+		for _, rerun := range reruns {
+			produced = append(produced, rerun())
+		}
+		got := cellRates(produced)
 		for cell, v := range got {
 			if v > best[cell] {
 				best[cell] = v
@@ -80,11 +104,17 @@ func main() {
 	}
 
 	failed := false
-	fmt.Printf("%-10s %12s %12s %9s\n", "cell", "committed", "best-of-runs", "delta")
-	for cell, base := range want {
+	fmt.Printf("%-12s %12s %12s %9s\n", "cell", "committed", "best-of-runs", "delta")
+	cells := make([]string, 0, len(want))
+	for cell := range want {
+		cells = append(cells, cell)
+	}
+	sort.Strings(cells)
+	for _, cell := range cells {
+		base := want[cell]
 		now, ok := best[cell]
 		if !ok {
-			fmt.Printf("%-10s %12.0f %12s %9s  (cell no longer produced; not gated)\n", cell, base*1000, "-", "-")
+			fmt.Printf("%-12s %12.0f %12s %9s  (cell no longer produced; not gated)\n", cell, base*1000, "-", "-")
 			continue
 		}
 		delta := (now - base) / base * 100
@@ -93,18 +123,42 @@ func main() {
 			verdict = "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-10s %12.0f %12.0f %+8.1f%%%s\n", cell, base*1000, now*1000, delta, verdict)
+		fmt.Printf("%-12s %12.0f %12.0f %+8.1f%%%s\n", cell, base*1000, now*1000, delta, verdict)
 	}
 	for cell := range best {
 		if _, ok := want[cell]; !ok {
-			fmt.Printf("%-10s %12s %12.0f %9s  (new cell; not gated — refresh the snapshot)\n", cell, "-", best[cell]*1000, "-")
+			fmt.Printf("%-12s %12s %12.0f %9s  (new cell; not gated — refresh the snapshot)\n", cell, "-", best[cell]*1000, "-")
 		}
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% against %s\n", *threshold, base)
+		fmt.Fprintf(os.Stderr, "benchdiff: throughput regressed more than %.0f%% against %s\n", *threshold, strings.Join(files, ", "))
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: all cells within %.0f%% of %s\n", *threshold, base)
+	fmt.Printf("benchdiff: all cells within %.0f%% of %s\n", *threshold, strings.Join(files, ", "))
+}
+
+// figuresFor maps the committed tables' titles to the figure re-runs the
+// gate needs, deduplicated: any "Hot path ..." table re-runs FigHotpath,
+// any "Server scaling ..." table re-runs FigServerScaling. Unknown titles
+// are skipped (their cells report as no-longer-produced, never failing).
+func figuresFor(tables []*bench.Table, n, scalingN int) []func() *bench.Table {
+	var out []func() *bench.Table
+	seen := map[string]bool{}
+	for _, t := range tables {
+		switch {
+		case strings.HasPrefix(t.Title, "Hot path") && !seen["hotpath"]:
+			seen["hotpath"] = true
+			out = append(out, func() *bench.Table {
+				return bench.FigHotpath(bench.HotpathConfig{Ops: n})
+			})
+		case strings.HasPrefix(t.Title, "Server scaling") && !seen["scaling"]:
+			seen["scaling"] = true
+			out = append(out, func() *bench.Table {
+				return bench.FigServerScaling(bench.ScalingConfig{Ops: scalingN})
+			})
+		}
+	}
+	return out
 }
 
 // cellRates extracts cell-name → Kops/s from every table carrying a

@@ -5,7 +5,7 @@
 //	benchfig [-n keys] [-threads 1,2,4,8] [-tx 2000] [-warehouses 1]
 //	         [-json out.json] <figure>...
 //
-// Figures: fig3 fig4 fig5a fig5b fig5c fig5d fig6 fig7a fig7b fig7c flushes shards server hotpath all
+// Figures: fig3 fig4 fig5a fig5b fig5c fig5d fig6 fig7a fig7b fig7c flushes shards server server-scaling hotpath all
 //
 // Default scales are reduced from the paper's 10M/50M keys so every figure
 // regenerates in seconds to minutes; raise -n (and -tx) to approach
@@ -52,11 +52,11 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchfig [flags] fig3|fig4|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|fig7c|flushes|shards|server|hotpath|all")
+		fmt.Fprintln(os.Stderr, "usage: benchfig [flags] fig3|fig4|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|fig7c|flushes|shards|server|server-scaling|hotpath|all")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "fig7a", "fig7b", "fig7c", "flushes", "shards", "server", "hotpath"}
+		args = []string{"fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "fig7a", "fig7b", "fig7c", "flushes", "shards", "server", "server-scaling", "hotpath"}
 	}
 
 	var tables []*bench.Table
@@ -97,6 +97,8 @@ func main() {
 			// buys against round trips; PM-latency sensitivity is the
 			// shards figure's axis.
 			tbl = bench.FigServer(bench.ServerConfig{Ops: *n})
+		case "server-scaling":
+			tbl = bench.FigServerScaling(bench.ScalingConfig{Ops: *n})
 		case "hotpath":
 			tbl = bench.FigHotpath(bench.HotpathConfig{Ops: *n})
 		default:

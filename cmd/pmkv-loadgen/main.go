@@ -1,18 +1,23 @@
 // Command pmkv-loadgen is a closed-loop load generator for pmkv-server: G
-// goroutines issue synchronous requests over C pooled connections, so C <
-// G pipelines requests on every connection while each goroutine still
-// measures true request latency. It reports throughput and latency
-// percentiles.
+// goroutines issue requests over C pooled connections, each keeping a
+// -pipeline deep window of async calls in flight, so the generator can
+// drive the server's batched pipeline the way real hot-path clients do
+// while still measuring true per-request latency (issue to completion).
+// It reports throughput and latency percentiles.
 //
 // Usage:
 //
-//	pmkv-loadgen [-addr localhost:7841] [-ops 500000] [-clients 32]
-//	             [-conns 4] [-read 0.5] [-mix get=90,put=10]
-//	             [-keys 1000000] [-preload 0] [-scanmax 100]
-//	             [-valsize 0] [-memprofile heap.pprof]
+//	pmkv-loadgen [-addr localhost:7841] [-ops 500000] [-duration 0]
+//	             [-clients 32] [-conns 4] [-pipeline 1] [-read 0.5]
+//	             [-mix get=90,put=10] [-keys 1000000] [-preload 0]
+//	             [-scanmax 100] [-valsize 0] [-memprofile heap.pprof]
 //
-// -clients 1 -conns 1 is the unpipelined baseline (one request per round
-// trip); raising -clients while holding -conns shows what pipelining buys.
+// -clients 1 -conns 1 -pipeline 1 is the unpipelined baseline (one request
+// per round trip); raising -pipeline shows what the async window buys on a
+// single connection, raising -clients shows what connection sharing buys.
+// With -duration set the run is time-bounded instead of ops-bounded
+// (-ops is ignored), which is the right shape for soak runs and for
+// comparing configurations at equal wall time.
 //
 // The workload is either the legacy -read get/put split or an explicit
 // -mix of weighted operations ("get=90,put=10", also accepting delete and
@@ -105,11 +110,20 @@ func (m mixWeights) pick(roll int) string {
 	return "scan"
 }
 
+// pending is one in-flight async call with its issue time, so completion
+// records true request latency even with a deep window.
+type pending struct {
+	call  *client.Call
+	start time.Time
+}
+
 func main() {
 	addr := flag.String("addr", "localhost:7841", "server address")
-	ops := flag.Int("ops", 500000, "total operations")
+	ops := flag.Int("ops", 500000, "total operations (ignored when -duration is set)")
+	duration := flag.Duration("duration", 0, "run for this long instead of a fixed op count")
 	clients := flag.Int("clients", 32, "closed-loop worker goroutines")
 	conns := flag.Int("conns", 4, "pooled TCP connections")
+	pipeline := flag.Int("pipeline", 1, "async calls each worker keeps in flight (1 = synchronous)")
 	readFrac := flag.Float64("read", 0.5, "fraction of ops that are Gets (ignored when -mix is set)")
 	mixFlag := flag.String("mix", "", "weighted op mix, e.g. get=90,put=10 (ops: get, put, delete, scan)")
 	keys := flag.Uint64("keys", 1000000, "key space size")
@@ -119,7 +133,7 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	if *clients < 1 || *conns < 1 || *ops < 1 || *keys < 1 || *readFrac < 0 || *readFrac > 1 || *scanMax < 1 ||
-		*valSize < 0 || *valSize > wire.MaxValue {
+		*pipeline < 1 || *duration < 0 || *valSize < 0 || *valSize > wire.MaxValue {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -184,6 +198,10 @@ func main() {
 	if perG == 0 {
 		perG = 1 // fewer ops than clients: still do one op each
 	}
+	var deadline time.Time
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
 	total := mix.total()
 	lats := make([][]time.Duration, *clients)
 	var failed, scanned atomic.Uint64
@@ -201,36 +219,52 @@ func main() {
 				rng.Read(val)
 			}
 			my := make([]time.Duration, 0, perG)
-			for i := 0; i < perG; i++ {
+			complete := func(p pending) {
+				if err := p.call.Wait(); err != nil {
+					failed.Add(1)
+					return
+				}
+				switch p.call.Op {
+				case wire.OpScan:
+					scanned.Add(uint64(len(p.call.Resp.Pairs)))
+				case wire.OpScanV:
+					scanned.Add(uint64(len(p.call.Resp.VPairs)))
+				}
+				my = append(my, time.Since(p.start))
+			}
+			window := make([]pending, 0, *pipeline)
+			for i := 0; *duration > 0 || i < perG; i++ {
 				k := rng.Uint64()%*keys + 1
 				op := mix.pick(rng.Intn(total))
 				start := time.Now()
-				var err error
+				if *duration > 0 && !start.Before(deadline) {
+					break
+				}
+				var call *client.Call
 				switch {
 				case op == "get" && *valSize > 0:
-					_, _, err = c.GetBytes(k)
+					call = c.GetBytesAsync(k)
 				case op == "get":
-					_, _, err = c.Get(k)
+					call = c.GetAsync(k)
 				case op == "put" && *valSize > 0:
-					err = c.PutBytes(k, val)
+					call = c.PutBytesAsync(k, val)
 				case op == "put":
-					err = c.Put(k, k^0xbeef)
+					call = c.PutAsync(k, k^0xbeef)
 				case op == "delete":
-					_, err = c.Delete(k)
+					call = c.DeleteAsync(k)
 				case op == "scan" && *valSize > 0:
-					var pairs []client.VKV
-					pairs, err = c.ScanBytes(k, ^uint64(0), *scanMax)
-					scanned.Add(uint64(len(pairs)))
+					call = c.ScanBytesAsync(k, ^uint64(0), *scanMax)
 				case op == "scan":
-					var pairs []client.KV
-					pairs, err = c.Scan(k, ^uint64(0), *scanMax)
-					scanned.Add(uint64(len(pairs)))
+					call = c.ScanAsync(k, ^uint64(0), *scanMax)
 				}
-				if err != nil {
-					failed.Add(1)
-					continue
+				window = append(window, pending{call, start})
+				if len(window) >= *pipeline {
+					complete(window[0])
+					window = window[:copy(window, window[1:])]
 				}
-				my = append(my, time.Since(start))
+			}
+			for _, p := range window {
+				complete(p)
 			}
 			lats[g] = my
 		}(g)
@@ -258,7 +292,7 @@ func main() {
 		pct(0.99).Round(time.Microsecond), pct(0.999).Round(time.Microsecond),
 		all[len(all)-1].Round(time.Microsecond))
 	if *mixFlag != "" {
-		fmt.Printf("config: %d clients over %d conns, mix %s, keyspace %d", *clients, *conns, *mixFlag, *keys)
+		fmt.Printf("config: %d clients over %d conns, pipeline %d, mix %s, keyspace %d", *clients, *conns, *pipeline, *mixFlag, *keys)
 		if mix.scan > 0 {
 			fmt.Printf(", %d pairs scanned", scanned.Load())
 		}
@@ -267,7 +301,7 @@ func main() {
 		}
 		fmt.Println()
 	} else {
-		fmt.Printf("config: %d clients over %d conns, %.0f%% reads, keyspace %d", *clients, *conns, *readFrac*100, *keys)
+		fmt.Printf("config: %d clients over %d conns, pipeline %d, %.0f%% reads, keyspace %d", *clients, *conns, *pipeline, *readFrac*100, *keys)
 		if *valSize > 0 {
 			fmt.Printf(", varlen %d B values", *valSize)
 		}

@@ -4,18 +4,35 @@
 // Usage:
 //
 //	pmkv-server [-addr :7841] [-shards 8] [-shard-size-mb 256]
-//	            [-workers 2] [-read-latency 0] [-write-latency 0]
-//	            [-gc-ratio 0.5]
+//	            [-workers 0] [-read-latency 0] [-write-latency 0]
+//	            [-gc-ratio 0.5] [-inflight 256] [-inline-batch 16]
+//	            [-flush-bytes 65536] [-flush-pending 64] [-flush-delay 200us]
+//	            [-pprof addr] [-mutexprofile 0] [-blockprofile 0]
 //
 // The store lives in simulated persistent memory inside the process; the
 // latency flags emulate a PM device (e.g. -write-latency 300ns). SIGINT or
 // SIGTERM triggers a graceful shutdown: the listeners close, in-flight
 // requests drain and answer, and only then does the store close.
 //
+// -workers sizes the server-wide worker pool that executes steered request
+// batches (0 = one per core); the remaining pipeline knobs map onto
+// server.Options — -inflight is the per-connection request window that
+// bounds memory under slow clients, -inline-batch the batch size below
+// which the reader executes requests itself, and the -flush-* trio the
+// response-coalescing policy (flush on bytes, on pending count, or after a
+// short delay while the window is open).
+//
 // -gc-ratio tunes value-log compaction: when a shard's varlen garbage
 // fraction reaches the ratio, the writing session compacts the shard
 // inline, so sustained overwrite traffic runs in bounded space. -gc-ratio
 // -1 disables automatic compaction (the log then only grows).
+//
+// -pprof serves net/http/pprof on the given address (e.g. localhost:6060)
+// for live CPU/heap/goroutine profiles while the server runs.
+// -mutexprofile and -blockprofile set the runtime's contention sampling
+// rates (runtime.SetMutexProfileFraction / runtime.SetBlockProfileRate) so
+// the pprof mutex and block endpoints carry data; both default to 0 (off)
+// because sampling costs a little on every contended event.
 package main
 
 import (
@@ -24,8 +41,11 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -37,13 +57,40 @@ func main() {
 	addr := flag.String("addr", ":7841", "listen address")
 	shards := flag.Int("shards", 8, "store shard count")
 	shardMB := flag.Int64("shard-size-mb", 256, "arena size per shard, MiB")
-	workers := flag.Int("workers", 2, "request workers (sessions) per connection")
+	workers := flag.Int("workers", 0, "server-wide request workers (0 = one per core)")
 	readLat := flag.Duration("read-latency", 0, "simulated PM read latency (e.g. 150ns)")
 	writeLat := flag.Duration("write-latency", 0, "simulated PM write latency (e.g. 300ns)")
 	gcRatio := flag.Float64("gc-ratio", 0, "value-log garbage ratio that triggers automatic compaction (0 = default 0.5, negative disables)")
+	inflight := flag.Int("inflight", 0, "max pipelined requests per connection (0 = default 256)")
+	inlineBatch := flag.Int("inline-batch", 0, "largest ingest batch the reader executes inline (0 = default 16, negative = always steer)")
+	flushBytes := flag.Int("flush-bytes", 0, "response bytes that force a flush (0 = default 64 KiB)")
+	flushPending := flag.Int("flush-pending", 0, "coalesced responses that force a flush (0 = default 64)")
+	flushDelay := flag.Duration("flush-delay", 0, "max time a response waits for coalescing (0 = default 200us)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	mutexProfile := flag.Int("mutexprofile", 0, "mutex contention sampling: 1 of every N events (0 = off)")
+	blockProfile := flag.Int("blockprofile", 0, "blocking profile sampling rate in ns (0 = off)")
 	flag.Parse()
+
+	if *mutexProfile > 0 {
+		runtime.SetMutexProfileFraction(*mutexProfile)
+	}
+	if *blockProfile > 0 {
+		runtime.SetBlockProfileRate(*blockProfile)
+	}
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listen %s: %v", *pprofAddr, err)
+		}
+		log.Printf("pmkv-server: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("pmkv-server: pprof serve: %v", err)
+			}
+		}()
+	}
 
 	st, err := store.Open(store.Options{
 		Shards:         *shards,
@@ -57,7 +104,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := server.Options{Workers: *workers}
+	opts := server.Options{
+		Workers:      *workers,
+		MaxInflight:  *inflight,
+		InlineBatch:  *inlineBatch,
+		FlushBytes:   *flushBytes,
+		FlushPending: *flushPending,
+		FlushDelay:   *flushDelay,
+	}
 	if !*quiet {
 		opts.Logf = log.Printf
 	}
@@ -67,8 +121,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("pmkv-server: serving %d shards (%d MiB each) on %s, %d workers/conn",
-		*shards, *shardMB, ln.Addr(), *workers)
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("pmkv-server: serving %d shards (%d MiB each) on %s, %d workers",
+		*shards, *shardMB, ln.Addr(), effWorkers)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -97,6 +155,8 @@ func main() {
 	}
 	fmt.Printf("served %d ops (%d errors), %d conns total, %d B in, %d B out\n",
 		stats.Ops, stats.Errors, stats.ConnsTotal, stats.BytesIn, stats.BytesOut)
+	fmt.Printf("pipeline: %d read batches, %d inline ops, %d steered ops, %d write flushes\n",
+		stats.ReadBatches, stats.InlineOps, stats.SteeredOps, stats.Flushes)
 	if vs.Live+vs.Garbage+vs.Reclaimed > 0 {
 		fmt.Printf("value log: %d B live, %d B garbage, %d B reclaimed by GC\n",
 			vs.Live, vs.Garbage, vs.Reclaimed)

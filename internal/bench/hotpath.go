@@ -19,6 +19,11 @@ type HotpathConfig struct {
 	Goroutines int
 	// ReadFrac is the Get fraction of the mix. Default 0.9.
 	ReadFrac float64
+	// Pipeline is the per-client async window on the server cell: each
+	// goroutine keeps this many calls in flight instead of paying a full
+	// round trip per op, which is how real pmkv clients are expected to
+	// run hot paths. Default 8; <0 means synchronous (depth 1).
+	Pipeline int
 	// Mem carries the simulated-latency configuration for the store cell.
 	// The server cell always runs at DRAM latency (its bottleneck is the
 	// wire, which is the thing being tracked).
@@ -37,11 +42,15 @@ func FigHotpath(cfg HotpathConfig) *Table {
 	if cfg.ReadFrac == 0 {
 		cfg.ReadFrac = 0.9
 	}
+	if cfg.Pipeline == 0 {
+		cfg.Pipeline = 8
+	}
 	tbl := &Table{
 		Title: fmt.Sprintf("Hot path: get-heavy (%d%% read) throughput, %d ops/cell, %d goroutines",
 			int(cfg.ReadFrac*100), cfg.Ops, cfg.Goroutines),
 		Header: []string{"cell", "Kops/s", "us/op"},
-		Notes:  "store = in-process sharded store; server = same mix over the wire (loopback, pipelined). Tracked in BENCH_hotpath.json.",
+		Notes: fmt.Sprintf("store = in-process sharded store; server = same mix over the wire (loopback, async window %d per client). Tracked in BENCH_hotpath.json.",
+			max(cfg.Pipeline, 1)),
 	}
 	for _, cell := range []struct {
 		name string
@@ -138,9 +147,10 @@ func hotpathStore(cfg HotpathConfig) float64 {
 	return float64(perG*cfg.Goroutines) / time.Since(t0).Seconds()
 }
 
-// hotpathServer measures the same mix through pmkv-server over loopback with
-// a pipelining client pool (lifecycle shared with FigServer's serverRun via
-// withServerPool). Returns ops/sec.
+// hotpathServer measures the same mix through pmkv-server over loopback
+// with a pipelining client pool (lifecycle shared with the other remote
+// figures via withServerPool): each goroutine keeps a cfg.Pipeline-deep
+// async window in flight. Returns ops/sec.
 func hotpathServer(cfg HotpathConfig) float64 {
 	conns := 4
 	if conns > cfg.Goroutines {
@@ -156,38 +166,65 @@ func hotpathServer(cfg HotpathConfig) float64 {
 	}
 	putPct := putPercent(cfg.ReadFrac)
 	var elapsed time.Duration
-	withServerPool(pmem.Config{}, 2, conns, func(pool *client.Pool) {
-		preload := make([]client.KV, 0, space/2)
-		for i := 0; i < space/2; i++ {
-			k := hotpathKey(i*2+1, 0, space)
-			preload = append(preload, client.KV{Key: k, Val: k})
-		}
-		if err := pool.PutBatch(preload); err != nil {
-			panic(err)
-		}
-		var wg sync.WaitGroup
-		t0 := time.Now()
-		for g := 0; g < cfg.Goroutines; g++ {
-			wg.Add(1)
-			go func(g int) {
-				defer wg.Done()
-				c := pool.Conn()
-				for i := 0; i < perG; i++ {
-					k := hotpathKey(i, g, space)
-					var err error
-					if isPut(i, putPct) {
-						err = c.Put(k, k^0xbeef)
-					} else {
-						_, _, err = c.Get(k)
-					}
-					if err != nil {
-						panic(err)
-					}
-				}
-			}(g)
-		}
-		wg.Wait()
-		elapsed = time.Since(t0)
+	withServerPool(pmem.Config{}, 0, conns, func(pool *client.Pool) {
+		preloadPool(pool, space)
+		elapsed = runPipelinedMix(pool, cfg.Goroutines, perG, putPct, space, cfg.Pipeline)
 	})
 	return float64(perG*cfg.Goroutines) / elapsed.Seconds()
+}
+
+// preloadPool seeds every other key of the keyspace, the shared warm state
+// of the get-heavy remote figures.
+func preloadPool(pool *client.Pool, space int) {
+	preload := make([]client.KV, 0, space/2)
+	for i := 0; i < space/2; i++ {
+		k := hotpathKey(i*2+1, 0, space)
+		preload = append(preload, client.KV{Key: k, Val: k})
+	}
+	if err := pool.PutBatch(preload); err != nil {
+		panic(err)
+	}
+}
+
+// runPipelinedMix drives the standard get/put mix: `goroutines` clients,
+// each issuing perG ops over its pool connection while keeping `depth`
+// calls in flight (depth <= 1 degenerates to the old synchronous closed
+// loop). Returns the wall time of the whole run.
+func runPipelinedMix(pool *client.Pool, goroutines, perG, putPct, space, depth int) time.Duration {
+	if depth < 1 {
+		depth = 1
+	}
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := pool.Conn()
+			window := make([]*client.Call, 0, depth)
+			for i := 0; i < perG; i++ {
+				k := hotpathKey(i, g, space)
+				var call *client.Call
+				if isPut(i, putPct) {
+					call = c.PutAsync(k, k^0xbeef)
+				} else {
+					call = c.GetAsync(k)
+				}
+				window = append(window, call)
+				if len(window) >= depth {
+					if err := window[0].Wait(); err != nil {
+						panic(err)
+					}
+					window = window[:copy(window, window[1:])]
+				}
+			}
+			for _, call := range window {
+				if err := call.Wait(); err != nil {
+					panic(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	return time.Since(t0)
 }

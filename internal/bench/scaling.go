@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/client"
+	"repro/internal/pmem"
+)
+
+// ScalingConfig shapes FigServerScaling.
+type ScalingConfig struct {
+	// Ops is the operation count per cell.
+	Ops int
+	// Workers sweeps the server-wide worker count. Default {1, 4}.
+	Workers []int
+	// Conns sweeps the TCP connection count. Default {1, 4}.
+	Conns []int
+	// Pipeline sweeps the per-client async window. Default {1, 8, 32}.
+	Pipeline []int
+	// Clients is the client goroutine count, fixed across cells so the
+	// sweep isolates the server-side axes. Default 8.
+	Clients int
+	// ReadFrac is the Get fraction of the mix. Default 0.9.
+	ReadFrac float64
+	// Mem carries the simulated-latency configuration for the store.
+	Mem pmem.Config
+}
+
+// FigServerScaling sweeps the steered server pipeline along its three
+// scaling axes — worker count, connection count, and per-client pipeline
+// depth — under the hot-path mix (90% get, 8 client goroutines). The cell
+// names are fixed strings ("w4-c4-p8"), so cmd/benchdiff can track every
+// cell of the committed BENCH_server_scaling.json snapshot across PRs the
+// same way it tracks the hot-path rows. Expected shape: depth dominates
+// (p1→p32 is the syscall-amortization win), conns add concurrency between
+// reader/writer pairs, and extra workers only pay off with real cores.
+func FigServerScaling(cfg ScalingConfig) *Table {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 4}
+	}
+	if len(cfg.Conns) == 0 {
+		cfg.Conns = []int{1, 4}
+	}
+	if len(cfg.Pipeline) == 0 {
+		cfg.Pipeline = []int{1, 8, 32}
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 8
+	}
+	if cfg.ReadFrac == 0 {
+		cfg.ReadFrac = 0.9
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("Server scaling: workers x conns x pipeline depth, %d ops/cell, %d clients, %d%% read",
+			cfg.Ops, cfg.Clients, int(cfg.ReadFrac*100)),
+		Header: []string{"cell", "workers", "conns", "depth", "Kops/s", "us/op"},
+		Notes:  "cell = w<workers>-c<conns>-p<depth>. Tracked in BENCH_server_scaling.json; pipeline depth is the dominant axis on loopback.",
+	}
+	space := cfg.Ops
+	if space < 1000 {
+		space = 1000
+	}
+	perG := cfg.Ops / cfg.Clients
+	if perG == 0 {
+		perG = 1
+	}
+	putPct := putPercent(cfg.ReadFrac)
+	for _, workers := range cfg.Workers {
+		for _, conns := range cfg.Conns {
+			for _, depth := range cfg.Pipeline {
+				var elapsed time.Duration
+				withServerPool(cfg.Mem, workers, conns, func(pool *client.Pool) {
+					preloadPool(pool, space)
+					elapsed = runPipelinedMix(pool, cfg.Clients, perG, putPct, space, depth)
+				})
+				tput := float64(perG*cfg.Clients) / elapsed.Seconds()
+				tbl.Rows = append(tbl.Rows, []string{
+					fmt.Sprintf("w%d-c%d-p%d", workers, conns, depth),
+					fmt.Sprintf("%d", workers),
+					fmt.Sprintf("%d", conns),
+					fmt.Sprintf("%d", depth),
+					fmt.Sprintf("%.0f", tput/1000),
+					fmt.Sprintf("%.2f", 1e6/tput),
+				})
+			}
+		}
+	}
+	return tbl
+}

@@ -25,7 +25,8 @@ type ServerConfig struct {
 	// Conns is the TCP connection count shared by the client goroutines
 	// (capped at the cell's client count). Default 4.
 	Conns int
-	// Workers is the server's per-connection worker count. Default 2.
+	// Workers is the server-wide request worker count (0 = the server's
+	// default, runtime.GOMAXPROCS).
 	Workers int
 	// Mem carries the simulated-latency configuration for the store.
 	Mem pmem.Config
@@ -45,9 +46,6 @@ func FigServer(cfg ServerConfig) *Table {
 	}
 	if cfg.Conns == 0 {
 		cfg.Conns = 4
-	}
-	if cfg.Workers == 0 {
-		cfg.Workers = 2
 	}
 	tbl := &Table{
 		Title: fmt.Sprintf("Remote serving: pipelined clients vs throughput, %d ops/cell, %d conns, write latency %v",

@@ -7,36 +7,57 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/store"
 	"repro/wire"
 )
 
-// reqQueue/respQueue bound the per-connection pipeline depth. Deep enough
-// to keep workers busy between flushes, shallow enough that a slow client
-// exerts backpressure on its own reads rather than ballooning memory.
-const (
-	reqQueue  = 256
-	respQueue = 256
-	ioBufSize = 64 << 10
-)
+const ioBufSize = 64 << 10
 
-// conn is one accepted connection's pipeline. The handler goroutine itself
-// runs the frame reader; workers and the response writer are spawned from
-// it and joined before the handler returns.
+// conn is one accepted connection on the steered pipeline. The handler
+// goroutine runs the frame reader; the response writer is spawned from it;
+// request execution happens either inline on the reader (small batches,
+// nothing steered) or on the connection's home worker (see steer.go).
 type conn struct {
 	srv      *Server
 	nc       net.Conn
+	home     int           // ring index every steered batch goes to
 	draining chan struct{} // closed by beginDrain
 	drainSet sync.Once
 
-	// scanBufs recycles Scan response pair buffers between the workers
-	// (serve fills one per Scan) and the writer (writeLoop returns it
-	// after encoding), keeping the steady-state Scan path allocation-free.
-	// A channel rather than a sync.Pool: handing a slice through a
-	// buffered channel boxes nothing. varBufs is the same discipline for
-	// the varlen ops' value arenas and pair buffers.
+	// The flow-control trio. credits is a counting semaphore sized
+	// Options.MaxInflight and pre-filled: the reader takes one credit per
+	// request before dispatching it, the writer returns one per response
+	// it has finished with (encoded or dropped). respCh has the same
+	// capacity, so at most MaxInflight responses can ever be queued and a
+	// send into respCh never blocks — workers cannot be stalled by a slow
+	// client. inflight counts dispatched-but-unwritten requests; the
+	// writer uses it to tell "the pipe is empty, flush now" from "more
+	// responses are coming, coalesce".
+	credits  chan struct{}
+	respCh   chan svResp
+	inflight atomic.Int64
+
+	// steered counts this connection's requests handed to its home ring
+	// whose responses are not yet queued. The reader's inline fast path
+	// requires it to be zero, which preserves execution order across the
+	// inline/steered boundary.
+	steered atomic.Int64
+
+	// issued is the reader's final request count, published (then
+	// readerDone closed) when the reader exits so the writer knows how
+	// many responses it still owes. -1 until the reader is done.
+	issued     atomic.Int64
+	readerDone chan struct{}
+
+	// scanBufs recycles Scan response pair buffers between serve (fills
+	// one per Scan) and the writer (returns it after encoding), keeping
+	// the steady-state Scan path allocation-free. A channel rather than a
+	// sync.Pool: handing a slice through a buffered channel boxes
+	// nothing. varBufs is the same discipline for the varlen ops' value
+	// arenas and pair buffers.
 	scanBufs chan []wire.KV
 	varBufs  chan *varlenBuf
 }
@@ -52,21 +73,30 @@ type varlenBuf struct {
 }
 
 // svResp pairs a wire response with the pooled buffers it borrows, so the
-// writer can hand them back to the workers once the response is encoded
-// (or dropped on a broken connection).
+// writer can hand them back once the response is encoded (or dropped on a
+// broken connection).
 type svResp struct {
 	wire.Response
 	vb *varlenBuf
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
-	return &conn{
-		srv:      s,
-		nc:       nc,
-		draining: make(chan struct{}),
-		scanBufs: make(chan []wire.KV, respQueue),
-		varBufs:  make(chan *varlenBuf, respQueue),
+	c := &conn{
+		srv:        s,
+		nc:         nc,
+		home:       int(s.nextHome.Add(1)-1) % s.opts.Workers,
+		draining:   make(chan struct{}),
+		credits:    make(chan struct{}, s.opts.MaxInflight),
+		respCh:     make(chan svResp, s.opts.MaxInflight),
+		readerDone: make(chan struct{}),
+		scanBufs:   make(chan []wire.KV, 16),
+		varBufs:    make(chan *varlenBuf, 16),
 	}
+	c.issued.Store(-1)
+	for i := 0; i < s.opts.MaxInflight; i++ {
+		c.credits <- struct{}{}
+	}
+	return c
 }
 
 // takeVarBuf fetches a recycled varlen buffer or makes a fresh one.
@@ -103,9 +133,11 @@ func (c *conn) isDraining() bool {
 }
 
 // handle runs the connection to completion: reader (this goroutine) →
-// bounded request queue → workers (one Session each) → bounded response
-// queue → writer. Teardown order mirrors the data flow so every accepted
-// request gets its response written before the socket closes.
+// inline serve or home ring → response queue → writer. The writer is
+// joined before the socket closes, and it only exits once it has written
+// (or dropped) a response for every request the reader issued — so every
+// accepted request is answered even when execution is spread across shared
+// workers.
 func (c *conn) handle() {
 	s := c.srv
 	defer s.wg.Done()
@@ -114,113 +146,215 @@ func (c *conn) handle() {
 	s.connsLive.Add(1)
 	defer s.connsLive.Add(-1)
 
-	reqs := make(chan wire.Request, reqQueue)
-	resps := make(chan svResp, respQueue)
-
-	var workers sync.WaitGroup
-	for i := 0; i < s.opts.Workers; i++ {
-		workers.Add(1)
-		go func() {
-			defer workers.Done()
-			ss := s.st.NewSession()
-			defer ss.Close()
-			for req := range reqs {
-				resps <- c.serve(ss, &req)
-			}
-		}()
-	}
-
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
-		c.writeLoop(resps)
+		c.writeLoop()
 	}()
 
-	c.readLoop(reqs, resps)
+	issued := c.readLoop()
 
-	close(reqs)
-	workers.Wait()
-	close(resps)
+	c.issued.Store(int64(issued))
+	close(c.readerDone)
 	<-writerDone
 	c.nc.Close()
 }
 
-// readLoop decodes frames into the request queue until EOF, error, or
-// drain. A malformed frame gets a best-effort error response (when the id
-// survived decoding) and ends the connection: framing is lost, nothing
-// after it can be trusted.
-func (c *conn) readLoop(reqs chan<- wire.Request, resps chan<- svResp) {
+// readLoop ingests frames until EOF, error, or drain, and returns how many
+// requests it dispatched. Each wakeup decodes every complete frame already
+// buffered (up to maxIngest) into one batch, then dispatches the batch as
+// a unit: inline on this goroutine when it is small and nothing from this
+// connection is steered, otherwise as one slab handed to the home ring. A
+// malformed frame gets a best-effort error response (when the id survived
+// decoding) and ends the connection: framing is lost, nothing after it can
+// be trusted.
+func (c *conn) readLoop() (issued int) {
 	s := c.srv
 	br := bufio.NewReaderSize(c.nc, ioBufSize)
+	ss := s.st.NewSession()
+	defer ss.Close()
 	var scratch []byte
+	var batch []wire.Request
+	dispatch := func() {
+		if len(batch) == 0 {
+			return
+		}
+		// Credits for every batched request are already held (taken as
+		// each frame was decoded), so the responses always fit respCh.
+		s.readBatches.Add(1)
+		c.inflight.Add(int64(len(batch)))
+		issued += len(batch)
+		if s.opts.InlineBatch >= 0 && len(batch) <= s.opts.InlineBatch &&
+			c.steered.Load() == 0 {
+			s.inlineOps.Add(uint64(len(batch)))
+			for i := range batch {
+				c.respCh <- c.serve(ss, &batch[i])
+			}
+		} else {
+			s.steeredOps.Add(uint64(len(batch)))
+			c.steered.Add(int64(len(batch)))
+			slab := append(s.takeSlab(), batch...)
+			s.rings[c.home] <- task{c: c, reqs: slab}
+		}
+		batch = batch[:0]
+	}
 	for {
+		// First frame of the wakeup: a blocking read.
 		body, err := wire.ReadFrame(br, s.opts.MaxFrame, scratch)
 		if err != nil {
 			if !c.isDraining() && !errors.Is(err, net.ErrClosed) {
 				s.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
 			}
-			return
+			return issued
 		}
-		s.bytesIn.Add(uint64(4 + len(body)))
-		req, err := wire.DecodeRequest(body)
-		if err != nil {
-			s.logf("server: %s: %v", c.nc.RemoteAddr(), err)
-			s.ops.Add(1)
-			s.errs.Add(1)
-			resp := wire.Response{Status: wire.StatusErr, Msg: err.Error()}
-			if len(body) >= 8 {
-				resp.ID = binary.BigEndian.Uint64(body)
+		for {
+			s.bytesIn.Add(uint64(4 + len(body)))
+			req, derr := wire.DecodeRequest(body)
+			if derr != nil {
+				// Framing is lost; answer what decoded, then the error,
+				// then hang up. dispatch-before-protoErr keeps the
+				// credit wait deadlock-free (see below).
+				s.logf("server: %s: %v", c.nc.RemoteAddr(), derr)
+				dispatch()
+				c.protoErr(body, derr, &issued)
+				return issued
 			}
-			resps <- svResp{Response: resp}
-			return
+			scratch = body[:0]
+			// One credit per request, taken before it joins the batch.
+			// If none is free, dispatch what we have first: then every
+			// held credit belongs to a dispatched request, whose
+			// response must eventually hand the credit back — so the
+			// blocking take below cannot deadlock, and a full window
+			// means this reader (alone) stalls until its client drains.
+			select {
+			case <-c.credits:
+			default:
+				dispatch()
+				<-c.credits
+			}
+			batch = append(batch, req)
+			if len(batch) >= maxIngest || !wire.FrameBuffered(br, s.opts.MaxFrame) {
+				break
+			}
+			if body, err = wire.ReadFrame(br, s.opts.MaxFrame, scratch); err != nil {
+				// FrameBuffered said a whole frame (or an oversized
+				// length) was buffered, so this is a reject, not a
+				// blocked read; dispatch what we have and die.
+				s.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
+				dispatch()
+				return issued
+			}
 		}
-		scratch = body[:0]
-		reqs <- req
+		dispatch()
 	}
 }
 
-// writeLoop encodes responses into a buffered writer, flushing whenever the
-// queue momentarily drains — the standard pipelining trade: batched
-// syscalls under load, prompt responses when idle. After a write error it
-// keeps draining the queue (dropping responses) so workers never block on a
-// dead connection.
-func (c *conn) writeLoop(resps <-chan svResp) {
+// protoErr queues the error response for an undecodable frame, charging it
+// a credit like any request so the writer's accounting stays exact.
+func (c *conn) protoErr(body []byte, err error, issued *int) {
 	s := c.srv
-	bw := bufio.NewWriterSize(c.nc, ioBufSize)
-	var buf []byte
+	s.ops.Add(1)
+	s.errs.Add(1)
+	resp := wire.Response{Status: wire.StatusErr, Msg: err.Error()}
+	if len(body) >= 8 {
+		resp.ID = binary.BigEndian.Uint64(body)
+	}
+	<-c.credits
+	c.inflight.Add(1)
+	*issued++
+	c.respCh <- svResp{Response: resp}
+}
+
+// writeLoop coalesces responses into a slab and flushes it with single
+// Write calls under an explicit policy: flush when the slab reaches
+// Options.FlushBytes, when it holds Options.FlushPending responses, when
+// nothing is left in flight (a waiting client gets its answer
+// immediately), or when responses are in flight but none arrives within
+// Options.FlushDelay (bounding coalescing-added latency). After a write
+// error it keeps draining — dropping responses, recycling their buffers,
+// returning their credits — until it has accounted for every request the
+// reader issued, so workers and the reader can never deadlock on a dead
+// connection.
+func (c *conn) writeLoop() {
+	s := c.srv
+	opts := &s.opts
+	var slab []byte
+	var timer *time.Timer
+	pend := 0
 	broken := false
-	for resp := range resps {
-		if broken {
-			c.recycleRespBufs(&resp)
-			continue
-		}
-		var err error
-		buf, err = wire.AppendResponse(buf[:0], &resp.Response)
-		if err != nil {
-			// Encode failures are server bugs (e.g. an over-long
-			// scan); turn them into a wire error for the client.
-			buf, _ = wire.AppendResponse(buf[:0], &wire.Response{
-				ID: resp.ID, Op: resp.Op,
-				Status: wire.StatusErr, Msg: err.Error(),
-			})
-		}
-		// The pair/value buffers are encoded into buf now; hand them
-		// back to the workers for the next request.
-		c.recycleRespBufs(&resp)
-		if _, err := bw.Write(buf); err != nil {
-			broken = true
-			continue
-		}
-		s.bytesOut.Add(uint64(len(buf)))
-		if len(resps) == 0 {
-			if err := bw.Flush(); err != nil {
+	flush := func() {
+		if len(slab) > 0 && !broken {
+			if _, err := c.nc.Write(slab); err != nil {
 				broken = true
+			} else {
+				s.bytesOut.Add(uint64(len(slab)))
+				s.flushes.Add(1)
 			}
 		}
+		slab = slab[:0]
+		pend = 0
 	}
-	if !broken {
-		bw.Flush()
+	var handled, issued int64 = 0, -1
+	for issued < 0 || handled < issued {
+		var resp svResp
+		if issued < 0 {
+			if len(slab) == 0 {
+				select {
+				case resp = <-c.respCh:
+				case <-c.readerDone:
+					issued = c.issued.Load()
+					continue
+				}
+			} else {
+				select {
+				case resp = <-c.respCh:
+				default:
+					if c.inflight.Load() == 0 {
+						flush()
+						continue
+					}
+					if timer == nil {
+						timer = time.NewTimer(opts.FlushDelay)
+					} else {
+						timer.Reset(opts.FlushDelay)
+					}
+					select {
+					case resp = <-c.respCh:
+						timer.Stop()
+					case <-timer.C:
+						flush()
+						continue
+					case <-c.readerDone:
+						timer.Stop()
+						issued = c.issued.Load()
+						continue
+					}
+				}
+			}
+		} else {
+			// The reader is gone and owes us issued-handled more
+			// responses; nothing new can arrive, so flush before any
+			// blocking wait.
+			select {
+			case resp = <-c.respCh:
+			default:
+				flush()
+				resp = <-c.respCh
+			}
+		}
+		handled++
+		c.inflight.Add(-1)
+		if !broken {
+			slab = wire.MustAppendResponse(slab, &resp.Response)
+			pend++
+		}
+		c.recycleRespBufs(&resp)
+		c.credits <- struct{}{}
+		if len(slab) >= opts.FlushBytes || pend >= opts.FlushPending {
+			flush()
+		}
 	}
+	flush()
 }
 
 // recycleRespBufs returns a response's pooled buffers — the Scan pair
@@ -245,7 +379,7 @@ func (c *conn) recycleRespBufs(resp *svResp) {
 	}
 }
 
-// serve executes one request against the worker's session and shapes the
+// serve executes one request against the given session and shapes the
 // response. Store-level failures become StatusErr; a closed store (the
 // server lost a race with Store.Close) becomes StatusClosed. Responses that
 // borrow pooled buffers (Scan pairs, varlen values) carry them in the

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"testing"
+
+	"repro/client"
+	"repro/store"
+)
+
+// TestSameKeyOrderingPipelined pins the steered pipeline's ordering
+// contract: one connection's requests execute in arrival order, so a
+// pipelined burst of Puts to one key followed by a Get must observe the
+// last Put — across the inline/steered boundary and across batch
+// boundaries, whatever the worker count.
+func TestSameKeyOrderingPipelined(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ts := startServer(t, store.Options{}, Options{Workers: workers})
+		c, err := client.Dial(ts.addr, client.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const key = 0xfeed
+		const n = 4000
+		calls := make([]*client.Call, 0, n)
+		for i := uint64(1); i <= n; i++ {
+			calls = append(calls, c.PutAsync(key, i))
+			// Interleaved reads must each see some prefix's last write;
+			// the final read must see the final write.
+			if i%97 == 0 {
+				want := i
+				get := c.GetAsync(key)
+				calls = append(calls, get)
+				defer func(get *client.Call, want uint64) {
+					if get.Resp.Val != want {
+						t.Errorf("workers=%d: interleaved Get = %d, want %d",
+							workers, get.Resp.Val, want)
+					}
+				}(get, want)
+			}
+		}
+		for _, call := range calls {
+			if err := call.Wait(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v, ok, err := c.Get(key)
+		if err != nil || !ok || v != n {
+			t.Fatalf("workers=%d: final Get = (%d,%v,%v), want (%d,true,nil)",
+				workers, v, ok, err, n)
+		}
+		c.Close()
+		ts.srv.Close()
+	}
+}
+
+// TestPipelineStatsBatchAndCoalesce checks the two amortizations the
+// pipeline exists for actually happen under pipelined load: multiple
+// requests per ingest batch and multiple responses per write syscall, with
+// every request accounted to exactly one execution site.
+func TestPipelineStatsBatchAndCoalesce(t *testing.T) {
+	ts := startServer(t, store.Options{}, Options{})
+	c, err := client.Dial(ts.addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const n = 20000
+	calls := make([]*client.Call, n)
+	for i := range calls {
+		calls[i] = c.PutAsync(uint64(i), uint64(i))
+	}
+	for _, call := range calls {
+		if err := call.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := ts.srv.Stats()
+	if st.Ops < n {
+		t.Fatalf("Ops = %d, want >= %d", st.Ops, n)
+	}
+	if st.InlineOps+st.SteeredOps != st.Ops {
+		t.Fatalf("InlineOps %d + SteeredOps %d != Ops %d",
+			st.InlineOps, st.SteeredOps, st.Ops)
+	}
+	if st.ReadBatches == 0 || st.Flushes == 0 {
+		t.Fatalf("zero ReadBatches (%d) or Flushes (%d)", st.ReadBatches, st.Flushes)
+	}
+	// A fully unbatched run would have one batch and one flush per op.
+	// Sustained pipelining at depth n must do meaningfully better; 2x is
+	// a deliberately loose floor (the measured factor is far higher).
+	if st.ReadBatches > st.Ops/2 {
+		t.Errorf("ingest batching ineffective: %d batches for %d ops", st.ReadBatches, st.Ops)
+	}
+	if st.Flushes > st.Ops/2 {
+		t.Errorf("write coalescing ineffective: %d flushes for %d ops", st.Flushes, st.Ops)
+	}
+	t.Logf("ops=%d batches=%d (%.1f/batch) flushes=%d (%.1f/flush) inline=%d steered=%d",
+		st.Ops, st.ReadBatches, float64(st.Ops)/float64(st.ReadBatches),
+		st.Flushes, float64(st.Ops)/float64(st.Flushes), st.InlineOps, st.SteeredOps)
+}

@@ -3,12 +3,22 @@
 // request ids, so one connection carries many in-flight requests and
 // responses stream back as they complete.
 //
-// Each connection runs a small pipeline: a reader goroutine decodes frames
-// into a bounded queue, Options.Workers worker goroutines — each owning one
-// store.Session, the store's per-goroutine handle — execute requests, and a
-// writer goroutine streams responses out, flushing whenever the outgoing
-// queue drains. With more than one worker, responses may leave in a
-// different order than requests arrived; the echoed id is the contract.
+// The data path is a steered, batching pipeline. Each connection's reader
+// decodes every complete frame already buffered per read wakeup into one
+// batch; small batches execute inline on the reader itself, larger ones
+// are handed — as a single slab — to the connection's home worker, one of
+// Options.Workers server-wide workers that each own a store.Session and
+// serve many connections (see steer.go). A per-connection writer coalesces
+// responses into slabs and flushes them with single Write calls under an
+// explicit byte / count / delay policy. Responses may leave in a different
+// order than requests arrived; the echoed id is the contract — but a
+// connection's requests always *execute* in arrival order, so same-key
+// operations on one connection are totally ordered.
+//
+// A connection may hold at most Options.MaxInflight unanswered requests;
+// past that its reader stops, exerting TCP backpressure on that client
+// alone. Because response queues are sized to that bound, workers never
+// block on a slow client, and one stalled connection cannot stall another.
 //
 // Shutdown is graceful by default: Shutdown stops the listeners, lets every
 // queued request finish, flushes the responses, and only then returns — so
@@ -22,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,12 +47,35 @@ var ErrServerClosed = errors.New("server: closed")
 
 // Options configures a Server. The zero value is ready for use.
 type Options struct {
-	// Workers is the number of request-processing goroutines per
-	// connection, each owning one store.Session. One worker keeps
-	// per-connection requests strictly ordered; more workers let one
-	// connection's requests overlap (responses are matched by id).
-	// Default 1.
+	// Workers is the number of server-wide request-processing goroutines,
+	// each owning one store.Session and serving batches from every
+	// connection steered to it (connections are spread round-robin).
+	// Default: runtime.GOMAXPROCS(0).
 	Workers int
+	// MaxInflight caps one connection's unanswered requests. Past it the
+	// connection's reader stops until responses drain, bounding the
+	// server-side memory a slow client can pin and guaranteeing workers
+	// never block writing responses. Default 256.
+	MaxInflight int
+	// InlineBatch is the largest ingest batch the reader executes on its
+	// own goroutine instead of steering to a worker, provided nothing
+	// from the connection is currently steered (preserving execution
+	// order). Inline execution skips the handoff entirely — the win for
+	// unpipelined and lightly-pipelined clients. Negative disables
+	// inlining; 0 means the default, 16.
+	InlineBatch int
+	// FlushBytes flushes the writer's coalescing slab when it reaches
+	// this many encoded bytes. Default 64 KiB.
+	FlushBytes int
+	// FlushPending flushes the slab when it holds this many responses.
+	// Default 64.
+	FlushPending int
+	// FlushDelay bounds how long a coalesced response may wait for
+	// company while more requests are in flight. A slab is always
+	// flushed immediately once nothing is in flight, so this delay is
+	// only ever added under pipelining, where it trades a bounded
+	// latency bump for fewer write syscalls. Default 200µs.
+	FlushDelay time.Duration
 	// MaxFrame caps an incoming frame body in bytes. Default
 	// wire.MaxFrame.
 	MaxFrame uint32
@@ -56,7 +90,22 @@ type Options struct {
 
 func (o *Options) fill() {
 	if o.Workers <= 0 {
-		o.Workers = 1
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 256
+	}
+	if o.InlineBatch == 0 {
+		o.InlineBatch = 16
+	}
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 64 << 10
+	}
+	if o.FlushPending <= 0 {
+		o.FlushPending = 64
+	}
+	if o.FlushDelay <= 0 {
+		o.FlushDelay = 200 * time.Microsecond
 	}
 	if o.MaxFrame == 0 {
 		o.MaxFrame = wire.MaxFrame
@@ -68,14 +117,22 @@ func (o *Options) fill() {
 
 // Stats is a snapshot of the server's counters. Ops counts requests
 // answered; Errors the subset answered with StatusErr or StatusClosed;
-// bytes include frame headers.
+// bytes include frame headers. The pipeline counters expose how the data
+// path behaved: ReadBatches is ingest batches dispatched (Ops/ReadBatches
+// is the mean ingest batch size), InlineOps and SteeredOps split requests
+// by execution site, and Flushes is response write syscalls
+// (Ops/Flushes is the mean coalescing factor).
 type Stats struct {
-	Ops        uint64
-	Errors     uint64
-	BytesIn    uint64
-	BytesOut   uint64
-	ConnsLive  uint64
-	ConnsTotal uint64
+	Ops         uint64
+	Errors      uint64
+	BytesIn     uint64
+	BytesOut    uint64
+	ConnsLive   uint64
+	ConnsTotal  uint64
+	ReadBatches uint64
+	InlineOps   uint64
+	SteeredOps  uint64
+	Flushes     uint64
 }
 
 // Server serves one store over any number of listeners.
@@ -83,15 +140,24 @@ type Server struct {
 	st   *store.Store
 	opts Options
 
-	ops, errs         atomic.Uint64
-	bytesIn, bytesOut atomic.Uint64
-	connsTotal        atomic.Uint64
-	connsLive         atomic.Int64
+	ops, errs             atomic.Uint64
+	bytesIn, bytesOut     atomic.Uint64
+	connsTotal            atomic.Uint64
+	connsLive             atomic.Int64
+	readBatches           atomic.Uint64
+	inlineOps, steeredOps atomic.Uint64
+	flushes               atomic.Uint64
+	nextHome              atomic.Uint64
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[*conn]struct{}
 	shutdown  bool
+	started   bool // workers running (see steer.go)
+
+	rings    []chan task
+	slabs    chan []wire.Request
+	workerWG sync.WaitGroup
 
 	wg sync.WaitGroup // one per connection handler
 }
@@ -106,6 +172,7 @@ func New(st *store.Store, opts Options) *Server {
 		opts:      opts,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
+		slabs:     make(chan []wire.Request, slabPoolSize),
 	}
 }
 
@@ -122,12 +189,16 @@ func (s *Server) Stats() Stats {
 		live = 0
 	}
 	return Stats{
-		Ops:        s.ops.Load(),
-		Errors:     s.errs.Load(),
-		BytesIn:    s.bytesIn.Load(),
-		BytesOut:   s.bytesOut.Load(),
-		ConnsLive:  uint64(live),
-		ConnsTotal: s.connsTotal.Load(),
+		Ops:         s.ops.Load(),
+		Errors:      s.errs.Load(),
+		BytesIn:     s.bytesIn.Load(),
+		BytesOut:    s.bytesOut.Load(),
+		ConnsLive:   uint64(live),
+		ConnsTotal:  s.connsTotal.Load(),
+		ReadBatches: s.readBatches.Load(),
+		InlineOps:   s.inlineOps.Load(),
+		SteeredOps:  s.steeredOps.Load(),
+		Flushes:     s.flushes.Load(),
 	}
 }
 
@@ -150,6 +221,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		ln.Close()
 		return ErrServerClosed
 	}
+	s.startWorkersLocked()
 	s.listeners[ln] = struct{}{}
 	s.mu.Unlock()
 	defer func() {
@@ -218,10 +290,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopWorkers()
 		return nil
 	case <-ctx.Done():
 		s.abortConns()
 		<-done
+		s.stopWorkers()
 		return ctx.Err()
 	}
 }
@@ -232,6 +306,7 @@ func (s *Server) Close() error {
 	s.stopAccepting()
 	s.abortConns()
 	s.wg.Wait()
+	s.stopWorkers()
 	return nil
 }
 

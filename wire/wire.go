@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -201,6 +202,27 @@ func ReadFrame(r io.Reader, max uint32, scratch []byte) ([]byte, error) {
 	return buf, nil
 }
 
+// FrameBuffered reports whether br already holds one complete frame, so a
+// batching reader can keep decoding without risking a blocking Read. It
+// never reads from the underlying connection: with fewer than 4 buffered
+// bytes it answers false outright rather than letting Peek block. An
+// oversized length prefix answers true — ReadFrame will reject it from the
+// buffered bytes alone, also without blocking.
+func FrameBuffered(br *bufio.Reader, max uint32) bool {
+	if br.Buffered() < 4 {
+		return false
+	}
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return false
+	}
+	n := be.Uint32(hdr)
+	if n > max {
+		return true
+	}
+	return br.Buffered() >= 4+int(n)
+}
+
 // appendFrame completes a frame started by reserving 4 length bytes at
 // lenAt: it back-patches the length with everything appended since.
 func appendFrame(dst []byte, lenAt int) []byte {
@@ -385,6 +407,26 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		}
 	}
 	return appendFrame(dst, lenAt), nil
+}
+
+// MustAppendResponse appends r to dst like AppendResponse, but converts an
+// encode failure (a server bug: an over-long scan, an oversized value) into
+// a StatusErr frame carrying the failure message, so a response-coalescing
+// writer always gets a frame for every request it owes. It panics only if
+// even the error frame cannot be encoded, which would mean the codec itself
+// is broken.
+func MustAppendResponse(dst []byte, r *Response) []byte {
+	out, err := AppendResponse(dst, r)
+	if err == nil {
+		return out
+	}
+	out, err2 := AppendResponse(dst, &Response{
+		ID: r.ID, Op: r.Op, Status: StatusErr, Msg: err.Error(),
+	})
+	if err2 != nil {
+		panic(fmt.Sprintf("wire: error frame unencodable: %v (after %v)", err2, err))
+	}
+	return out
 }
 
 // DecodeResponse parses one response frame body. Like DecodeRequest it never
