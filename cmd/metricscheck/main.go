@@ -1,0 +1,76 @@
+// Command metricscheck fetches a Prometheus text-format metrics endpoint,
+// validates that it parses (HELP/TYPE comments, sample syntax, histogram
+// bucket monotonicity and +Inf/count agreement), and optionally checks
+// that required metric families are present — CI's smoke test that the
+// server's /metrics endpoint stays scrapeable.
+//
+// Usage:
+//
+//	metricscheck [-timeout 5s] <url> [required-family ...]
+//
+// Exit status 0 when the exposition lints and every required family is
+// present; 1 otherwise, with the failures on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	timeout := flag.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-timeout 5s] <url> [required-family ...]")
+		os.Exit(2)
+	}
+	url := flag.Arg(0)
+
+	cl := &http.Client{Timeout: *timeout}
+	resp, err := cl.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: fetch %s: %v\n", url, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s: status %s\n", url, resp.Status)
+		os.Exit(1)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: read body: %v\n", err)
+		os.Exit(1)
+	}
+
+	fams, err := metrics.LintText(body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: exposition does not lint: %v\n", err)
+		os.Exit(1)
+	}
+
+	missing := 0
+	for _, want := range flag.Args()[1:] {
+		if !fams[want] {
+			fmt.Fprintf(os.Stderr, "metricscheck: required family %q missing\n", want)
+			missing++
+		}
+	}
+	if missing > 0 {
+		names := make([]string, 0, len(fams))
+		for f := range fams {
+			names = append(names, f)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(os.Stderr, "metricscheck: families present: %v\n", names)
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %s ok — %d families, %d bytes\n", url, len(fams), len(body))
+}

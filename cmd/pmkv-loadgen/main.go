@@ -3,7 +3,11 @@
 // -pipeline deep window of async calls in flight, so the generator can
 // drive the server's batched pipeline the way real hot-path clients do
 // while still measuring true per-request latency (issue to completion).
-// It reports throughput and latency percentiles.
+// It reports throughput and latency percentiles — recorded into log-linear
+// histograms (constant memory, ≤~3% relative error) rather than per-sample
+// slices, so soak runs of any length are safe — alongside the server's own
+// per-class p50/p99 from the Stats frame, separating wire time from
+// server-side queue+execute time.
 //
 // Usage:
 //
@@ -41,7 +45,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -49,6 +52,7 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/metrics"
 	"repro/wire"
 )
 
@@ -203,7 +207,13 @@ func main() {
 		deadline = time.Now().Add(*duration)
 	}
 	total := mix.total()
-	lats := make([][]time.Duration, *clients)
+	// Latency is recorded into one log-linear histogram per worker (merged
+	// after the run), so memory stays constant no matter how many ops a
+	// soak run completes — no per-sample slices, no end-of-run sort.
+	hists := make([]*metrics.Histogram, *clients)
+	for g := range hists {
+		hists[g] = metrics.NewHistogram()
+	}
 	var failed, scanned atomic.Uint64
 	var wg sync.WaitGroup
 	t0 := time.Now()
@@ -218,7 +228,7 @@ func main() {
 				val = make([]byte, *valSize)
 				rng.Read(val)
 			}
-			my := make([]time.Duration, 0, perG)
+			h := hists[g]
 			complete := func(p pending) {
 				if err := p.call.Wait(); err != nil {
 					failed.Add(1)
@@ -230,7 +240,7 @@ func main() {
 				case wire.OpScanV:
 					scanned.Add(uint64(len(p.call.Resp.VPairs)))
 				}
-				my = append(my, time.Since(p.start))
+				h.RecordSince(p.start)
 			}
 			window := make([]pending, 0, *pipeline)
 			for i := 0; *duration > 0 || i < perG; i++ {
@@ -266,31 +276,29 @@ func main() {
 			for _, p := range window {
 				complete(p)
 			}
-			lats[g] = my
 		}(g)
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	var all []time.Duration
-	for _, l := range lats {
-		all = append(all, l...)
+	snap := hists[0].Snapshot()
+	for _, h := range hists[1:] {
+		snap.Merge(h.Snapshot())
 	}
-	if len(all) == 0 {
+	done := snap.Count()
+	if done == 0 {
 		log.Fatalf("no operation succeeded (%d failed)", failed.Load())
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(all)-1))
-		return all[i]
+		return time.Duration(snap.Quantile(p))
 	}
-	tput := float64(len(all)) / elapsed.Seconds()
+	tput := float64(done) / elapsed.Seconds()
 	fmt.Printf("%d ops in %v: %.0f ops/s (%d failed)\n",
-		len(all), elapsed.Round(time.Millisecond), tput, failed.Load())
+		done, elapsed.Round(time.Millisecond), tput, failed.Load())
 	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  p99.9 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(0.999).Round(time.Microsecond),
-		all[len(all)-1].Round(time.Microsecond))
+		time.Duration(snap.Max()).Round(time.Microsecond))
 	if *mixFlag != "" {
 		fmt.Printf("config: %d clients over %d conns, pipeline %d, mix %s, keyspace %d", *clients, *conns, *pipeline, *mixFlag, *keys)
 		if mix.scan > 0 {
@@ -311,6 +319,16 @@ func main() {
 	if stats, err := pool.Stats(); err == nil {
 		fmt.Printf("server: %d ops (%d errors), %d conns live, %d B in, %d B out\n",
 			stats.Ops, stats.Errors, stats.ConnsLive, stats.BytesIn, stats.BytesOut)
+		// Server-side per-class percentiles (queue wait + execution, no
+		// network or flush coalescing): the gap to the client-side numbers
+		// above is wire time plus coalescing delay.
+		sp := func(ns uint64) time.Duration {
+			return time.Duration(ns).Round(time.Microsecond)
+		}
+		fmt.Printf("server latency p50/p99: read %v/%v  write %v/%v  scan %v/%v\n",
+			sp(stats.ReadP50), sp(stats.ReadP99),
+			sp(stats.WriteP50), sp(stats.WriteP99),
+			sp(stats.ScanP50), sp(stats.ScanP99))
 		if stats.VlogLive+stats.VlogGarbage+stats.VlogReclaimed > 0 {
 			fmt.Printf("server value log: %d B live, %d B garbage, %d B reclaimed by GC\n",
 				stats.VlogLive, stats.VlogGarbage, stats.VlogReclaimed)

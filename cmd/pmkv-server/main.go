@@ -7,6 +7,7 @@
 //	            [-workers 0] [-read-latency 0] [-write-latency 0]
 //	            [-gc-ratio 0.5] [-inflight 256] [-inline-batch 16]
 //	            [-flush-bytes 65536] [-flush-pending 64] [-flush-delay 200us]
+//	            [-stats-interval 0] [-slow-op 0]
 //	            [-pprof addr] [-mutexprofile 0] [-blockprofile 0]
 //
 // The store lives in simulated persistent memory inside the process; the
@@ -28,7 +29,15 @@
 // -1 disables automatic compaction (the log then only grows).
 //
 // -pprof serves net/http/pprof on the given address (e.g. localhost:6060)
-// for live CPU/heap/goroutine profiles while the server runs.
+// for live CPU/heap/goroutine profiles while the server runs. The same
+// listener carries the observability endpoints: /metrics is Prometheus
+// text format (per-opcode request counts and errors, queue/execute/flush
+// stage latency histograms, store op latencies, GC pauses, value-log and
+// pmem counters), and /debug/vars exposes the same registry as expvar JSON
+// under the "pmkv" key. -stats-interval logs a periodic one-line summary
+// (ops/s, errors, connections, per-class p50/p99); -slow-op logs any
+// request whose queue+execute time meets the threshold, rate-limited to
+// one line per 100ms.
 // -mutexprofile and -blockprofile set the runtime's contention sampling
 // rates (runtime.SetMutexProfileFraction / runtime.SetBlockProfileRate) so
 // the pprof mutex and block endpoints carry data; both default to 0 (off)
@@ -37,6 +46,7 @@ package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -68,7 +78,9 @@ func main() {
 	flushDelay := flag.Duration("flush-delay", 0, "max time a response waits for coalescing (0 = default 200us)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	statsInterval := flag.Duration("stats-interval", 0, "log a throughput/latency line this often (0 = off)")
+	slowOp := flag.Duration("slow-op", 0, "log requests slower than this, rate-limited (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof, /metrics and /debug/vars on this address (e.g. localhost:6060)")
 	mutexProfile := flag.Int("mutexprofile", 0, "mutex contention sampling: 1 of every N events (0 = off)")
 	blockProfile := flag.Int("blockprofile", 0, "blocking profile sampling rate in ns (0 = off)")
 	flag.Parse()
@@ -112,10 +124,17 @@ func main() {
 		FlushPending: *flushPending,
 		FlushDelay:   *flushDelay,
 	}
+	opts.SlowOpThreshold = *slowOp
 	if !*quiet {
 		opts.Logf = log.Printf
 	}
 	srv := server.New(st, opts)
+
+	// The pprof mux (DefaultServeMux) also carries the observability
+	// endpoints: Prometheus text format on /metrics, and the same registry
+	// as JSON under the "pmkv" key of expvar's /debug/vars.
+	http.Handle("/metrics", srv.Metrics().Handler())
+	expvar.Publish("pmkv", srv.Metrics().ExpvarFunc())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -130,6 +149,26 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
+
+	if *statsInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*statsInterval)
+			defer tick.Stop()
+			var last server.Stats
+			lastT := time.Now()
+			for range tick.C {
+				cur := srv.Stats()
+				now := time.Now()
+				dt := now.Sub(lastT).Seconds()
+				p50, p99 := srv.OpLatencies()
+				log.Printf("pmkv-server: %.0f ops/s (%d total, %d errors), %d conns, %.0f flushes/s | p50/p99 read %v/%v write %v/%v scan %v/%v",
+					float64(cur.Ops-last.Ops)/dt, cur.Ops, cur.Errors, cur.ConnsLive,
+					float64(cur.Flushes-last.Flushes)/dt,
+					p50[0], p99[0], p50[1], p99[1], p50[2], p99[2])
+				last, lastT = cur, now
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

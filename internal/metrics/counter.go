@@ -1,0 +1,67 @@
+package metrics
+
+import "sync/atomic"
+
+// cacheLine is the assumed coherence granule. Counters are padded to it so
+// adjacent counters in an array (the per-opcode layout) never share a line,
+// and striped counters give each writer its own line.
+const cacheLine = 64
+
+// Counter is a monotonically increasing counter padded to a cache line, so
+// arrays of Counters (one per opcode, one per stage) do not false-share.
+// For counters bumped concurrently from many cores on one hot path, prefer
+// Striped.
+type Counter struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Striped is a counter sharded across cache-line-padded stripes: writers
+// pick a stripe (their worker id, shard id, or any stable small int) so
+// concurrent increments touch distinct lines, and readers sum the stripes.
+// Loads are monotonic per stripe; a concurrent sum is a monitoring-grade
+// approximation, like every counter snapshot in this package.
+type Striped struct {
+	stripes []Counter
+	mask    uint32
+}
+
+// NewStriped returns a counter with at least n stripes (rounded up to a
+// power of two so stripe selection is a mask, not a modulo).
+func NewStriped(n int) *Striped {
+	if n < 1 {
+		n = 1
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Striped{stripes: make([]Counter, size), mask: uint32(size - 1)}
+}
+
+// Add increments the counter by d on the stripe selected by hint. Any hint
+// value is safe; distinct concurrent writers should pass distinct hints.
+func (s *Striped) Add(hint int, d uint64) {
+	s.stripes[uint32(hint)&s.mask].Add(d)
+}
+
+// Inc increments by one on the stripe selected by hint.
+func (s *Striped) Inc(hint int) { s.Add(hint, 1) }
+
+// Load sums the stripes.
+func (s *Striped) Load() uint64 {
+	var total uint64
+	for i := range s.stripes {
+		total += s.stripes[i].Load()
+	}
+	return total
+}

@@ -1,0 +1,333 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintText validates Prometheus text exposition format (version 0.0.4) the
+// way a scraper would: every line must be a well-formed comment or sample,
+// TYPE lines must precede their family's samples and not repeat, histogram
+// families must carry cumulative non-decreasing buckets ending in le="+Inf"
+// whose count matches _count. It returns the set of family names seen (with
+// the _bucket/_sum/_count suffixes folded into their histogram family), so
+// callers can assert required series are present.
+//
+// It backs both the registry's own tests and cmd/metricscheck's CI smoke
+// scrape; it is a validator for this repo's exposition, not a general
+// Prometheus parser (exotic but legal corners like exemplars are rejected).
+func LintText(data []byte) (map[string]bool, error) {
+	families := make(map[string]bool)
+	typed := make(map[string]string)
+	// histogram bucket state per series (family + non-le labels).
+	type bucketState struct {
+		lastLe  float64
+		lastCum float64
+		infSeen bool
+		infCum  float64
+	}
+	buckets := make(map[string]*bucketState)
+	counts := make(map[string]float64)
+
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind == "TYPE" {
+				if _, dup := typed[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+				}
+				typed[name] = rest
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, isBucket, isCount := name, false, false
+		for fam, typ := range typed {
+			if typ != "histogram" {
+				continue
+			}
+			switch name {
+			case fam + "_bucket":
+				base, isBucket = fam, true
+			case fam + "_count":
+				base, isCount = fam, true
+			case fam + "_sum":
+				base = fam
+			}
+		}
+		if typ, ok := typed[base]; !ok {
+			return nil, fmt.Errorf("line %d: sample %s without a preceding TYPE", lineNo, name)
+		} else if typ == "histogram" && base == name {
+			return nil, fmt.Errorf("line %d: histogram %s sampled without _bucket/_sum/_count suffix", lineNo, name)
+		}
+		families[base] = true
+		if isBucket {
+			le, rest, err := splitLe(labels)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			key := base + "{" + rest + "}"
+			st := buckets[key]
+			if st == nil {
+				st = &bucketState{lastLe: -1}
+				buckets[key] = st
+			}
+			if st.infSeen {
+				return nil, fmt.Errorf("line %d: bucket after le=\"+Inf\" for %s", lineNo, key)
+			}
+			if le == infLe {
+				st.infSeen, st.infCum = true, value
+			} else {
+				if le <= st.lastLe {
+					return nil, fmt.Errorf("line %d: le bounds not increasing for %s", lineNo, key)
+				}
+				st.lastLe = le
+			}
+			if value < st.lastCum {
+				return nil, fmt.Errorf("line %d: bucket counts not cumulative for %s", lineNo, key)
+			}
+			st.lastCum = value
+		}
+		if isCount {
+			// Key by sorted label pairs so it matches the bucket series
+			// identity regardless of rendered order.
+			pairs := splitLabelPairs(labels)
+			sort.Strings(pairs)
+			counts[base+"{"+strings.Join(pairs, ",")+"}"] = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for key, st := range buckets {
+		if !st.infSeen {
+			return nil, fmt.Errorf("histogram %s has no le=\"+Inf\" bucket", key)
+		}
+		if cnt, ok := counts[key]; !ok {
+			return nil, fmt.Errorf("histogram %s has buckets but no _count", key)
+		} else if cnt != st.infCum {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", key, st.infCum, cnt)
+		}
+	}
+	return families, nil
+}
+
+// infLe is the sentinel parsed from le="+Inf".
+var infLe = math.Inf(1)
+
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		// Bare comments are legal but this exposition never emits them.
+		return "", "", "", fmt.Errorf("malformed comment %q", line)
+	}
+	kind = fields[1]
+	if kind != "HELP" && kind != "TYPE" {
+		return "", "", "", fmt.Errorf("unknown comment kind %q", kind)
+	}
+	if len(fields) < 3 {
+		return "", "", "", fmt.Errorf("%s without a metric name", kind)
+	}
+	name = fields[2]
+	if !validName(name) {
+		return "", "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample parses `name{labels} value [timestamp]`, returning the
+// rendered label list without braces.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return "", "", 0, err
+		}
+		labels = rest[1 : end-1]
+		rest = rest[end:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	valStr, _, _ := strings.Cut(rest, " ")
+	value, err = parseValue(valStr)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q: %v", valStr, err)
+	}
+	return name, labels, value, nil
+}
+
+// scanLabels validates a `{name="value",...}` block starting at s[0]=='{'
+// and returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) || !validLabelName(s[start:i]) {
+			return 0, fmt.Errorf("bad label name in %q", s)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+				if i >= len(s) || (s[i] != '\\' && s[i] != '"' && s[i] != 'n') {
+					return 0, fmt.Errorf("bad escape in label value in %q", s)
+				}
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing '"'
+		if i < len(s) && s[i] == ',' {
+			i++
+		} else if i >= len(s) || s[i] != '}' {
+			return 0, fmt.Errorf("missing , or } in label block %q", s)
+		}
+	}
+}
+
+// splitLe extracts the le bound from a bucket's label list and returns the
+// remaining labels (the bucket's series identity).
+func splitLe(labels string) (le float64, rest string, err error) {
+	parts := splitLabelPairs(labels)
+	found := false
+	var kept []string
+	for _, p := range parts {
+		name, val, ok := strings.Cut(p, "=")
+		if !ok {
+			return 0, "", fmt.Errorf("bad label pair %q", p)
+		}
+		if name != "le" {
+			kept = append(kept, p)
+			continue
+		}
+		found = true
+		unq := strings.Trim(val, `"`)
+		if unq == "+Inf" {
+			le = infLe
+			continue
+		}
+		le, err = strconv.ParseFloat(unq, 64)
+		if err != nil {
+			return 0, "", fmt.Errorf("bad le bound %q", unq)
+		}
+	}
+	if !found {
+		return 0, "", fmt.Errorf("bucket sample without le label in {%s}", labels)
+	}
+	sort.Strings(kept)
+	return le, strings.Join(kept, ","), nil
+}
+
+// splitLabelPairs splits a rendered label list on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, labels[start:])
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return infLe, nil
+	case "-Inf":
+		return -infLe, nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package metrics
+
+// raceEnabled reports that the race detector is active; exact allocation
+// counts are not meaningful under its instrumentation.
+const raceEnabled = true

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildRegistry() *Registry {
+	r := NewRegistry()
+	var reqs Counter
+	reqs.Add(17)
+	r.Counter("test_requests_total", `op="Get"`, "requests served", reqs.Load)
+	r.Counter("test_requests_total", `op="Put"`, "requests served", func() uint64 { return 5 })
+	r.Gauge("test_conns_live", "", "open connections", func() float64 { return 3 })
+	h := NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000) // 1µs..1ms
+	}
+	r.Histogram("test_latency_seconds", `op="Get",stage="execute"`, "latency by stage", 1e-9, h)
+	empty := NewHistogram()
+	r.Histogram("test_latency_seconds", `op="Put",stage="execute"`, "latency by stage", 1e-9, empty)
+	return r
+}
+
+// TestWritePrometheusLints renders a registry and validates it with the
+// same linter CI's metricscheck uses: parseable, typed, cumulative
+// histograms, all families present.
+func TestWritePrometheusLints(t *testing.T) {
+	r := buildRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := LintText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("lint: %v\noutput:\n%s", err, buf.String())
+	}
+	for _, want := range []string{"test_requests_total", "test_conns_live", "test_latency_seconds"} {
+		if !fams[want] {
+			t.Errorf("family %s missing from output; got %v", want, fams)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`test_requests_total{op="Get"} 17`,
+		`test_requests_total{op="Put"} 5`,
+		"test_conns_live 3",
+		`test_latency_seconds_count{op="Get",stage="execute"} 1000`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE must appear once per family even with multiple series.
+	if n := strings.Count(out, "# TYPE test_latency_seconds histogram"); n != 1 {
+		t.Errorf("TYPE for test_latency_seconds appears %d times, want 1", n)
+	}
+}
+
+// TestHistogramExportBounds checks the exported cumulative buckets against
+// the snapshot ground truth at every power-of-two ladder point.
+func TestHistogramExportBounds(t *testing.T) {
+	h := NewHistogram()
+	vals := []int64{1, 31, 32, 1000, 1024, 1025, 1 << 20}
+	for _, v := range vals {
+		h.Record(v)
+	}
+	r := NewRegistry()
+	r.Histogram("raw", "", "raw units", 1, h)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LintText(buf.Bytes()); err != nil {
+		t.Fatalf("lint: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	// le="32" covers values < 32: {1, 31} = 2. le="1024" covers {1,31,32,1000} = 4.
+	for _, want := range []string{
+		`raw_bucket{le="32"} 2`,
+		`raw_bucket{le="1024"} 4`,
+		`raw_bucket{le="+Inf"} 7`,
+		"raw_count 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLintRejects feeds the linter malformed expositions; each must fail.
+func TestLintRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "foo 1\n",
+		"bad name":            "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":           "# TYPE foo counter\nfoo xyz\n",
+		"unterminated labels": "# TYPE foo counter\nfoo{a=\"b 1\n",
+		"duplicate TYPE":      "# TYPE foo counter\n# TYPE foo gauge\nfoo 1\n",
+		"unknown type":        "# TYPE foo widget\nfoo 1\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"Inf/count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 6\n",
+		"decreasing le": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, in := range cases {
+		if _, err := LintText([]byte(in)); err == nil {
+			t.Errorf("%s: lint accepted malformed input:\n%s", name, in)
+		}
+	}
+	// And a well-formed control.
+	good := "# HELP ok fine\n# TYPE ok counter\nok{a=\"b\",c=\"d\"} 12\n" +
+		"# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 4.5\nh_count 3\n"
+	if _, err := LintText([]byte(good)); err != nil {
+		t.Errorf("lint rejected well-formed input: %v", err)
+	}
+}
+
+// TestExpvarFunc checks the JSON-shaped view.
+func TestExpvarFunc(t *testing.T) {
+	r := buildRegistry()
+	v := r.ExpvarFunc()()
+	m, ok := v.(map[string]any)
+	if !ok {
+		t.Fatalf("expvar value is %T, want map", v)
+	}
+	if got := m[`test_requests_total{op="Get"}`]; got != uint64(17) {
+		t.Errorf("counter via expvar = %v, want 17", got)
+	}
+	hist, ok := m[`test_latency_seconds{op="Get",stage="execute"}`].(map[string]any)
+	if !ok || hist["count"] != uint64(1000) {
+		t.Errorf("histogram via expvar = %v", m)
+	}
+}
+
+// TestRegistryTypeConflict pins the programming-error panic.
+func TestRegistryTypeConflict(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a name with a different type must panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "", "h", func() uint64 { return 0 })
+	r.Gauge("x", "", "h", func() float64 { return 0 })
+}

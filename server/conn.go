@@ -46,6 +46,11 @@ type conn struct {
 	// inline/steered boundary.
 	steered atomic.Int64
 
+	// sampleCtr drives stage-latency sampling on the inline path. Only
+	// the reader goroutine touches it (inline execution runs there);
+	// steered execution uses the worker's own counter.
+	sampleCtr uint32
+
 	// issued is the reader's final request count, published (then
 	// readerDone closed) when the reader exits so the writer knows how
 	// many responses it still owes. -1 until the reader is done.
@@ -74,10 +79,13 @@ type varlenBuf struct {
 
 // svResp pairs a wire response with the pooled buffers it borrows, so the
 // writer can hand them back once the response is encoded (or dropped on a
-// broken connection).
+// broken connection), and the mnow() time the response became ready, so
+// the writer can charge the flush-wait stage at the write syscall. A zero
+// served (protocol-error responses, which never executed) records nothing.
 type svResp struct {
 	wire.Response
-	vb *varlenBuf
+	vb     *varlenBuf
+	served int64
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -182,19 +190,24 @@ func (c *conn) readLoop() (issued int) {
 		// Credits for every batched request are already held (taken as
 		// each frame was decoded), so the responses always fit respCh.
 		s.readBatches.Add(1)
+		s.met.readBatch.Record(int64(len(batch)))
 		c.inflight.Add(int64(len(batch)))
 		issued += len(batch)
+		// t0 starts every batched request's queue-wait clock: inline
+		// execution begins immediately (queue wait ~0), a steered batch
+		// waits in its home ring.
+		t0 := s.mnow()
 		if s.opts.InlineBatch >= 0 && len(batch) <= s.opts.InlineBatch &&
 			c.steered.Load() == 0 {
 			s.inlineOps.Add(uint64(len(batch)))
 			for i := range batch {
-				c.respCh <- c.serve(ss, &batch[i])
+				c.respCh <- c.executeOne(ss, &batch[i], t0, c.home, &c.sampleCtr)
 			}
 		} else {
 			s.steeredOps.Add(uint64(len(batch)))
 			c.steered.Add(int64(len(batch)))
 			slab := append(s.takeSlab(), batch...)
-			s.rings[c.home] <- task{c: c, reqs: slab}
+			s.rings[c.home] <- task{c: c, reqs: slab, t0: t0}
 		}
 		batch = batch[:0]
 	}
@@ -255,6 +268,8 @@ func (c *conn) protoErr(body []byte, err error, issued *int) {
 	s := c.srv
 	s.ops.Add(1)
 	s.errs.Add(1)
+	s.met.reqs[0].Inc(c.home)
+	s.met.errs[0].Inc(c.home)
 	resp := wire.Response{Status: wire.StatusErr, Msg: err.Error()}
 	if len(body) >= 8 {
 		resp.ID = binary.BigEndian.Uint64(body)
@@ -280,6 +295,14 @@ func (c *conn) writeLoop() {
 	opts := &s.opts
 	var slab []byte
 	var timer *time.Timer
+	// pendMeta mirrors the slab's responses (op slot + ready time) so a
+	// successful flush can charge each one's flush-wait stage; the slice is
+	// reused across flushes.
+	type respMeta struct {
+		slot   uint8
+		served int64
+	}
+	var pendMeta []respMeta
 	pend := 0
 	broken := false
 	flush := func() {
@@ -289,9 +312,16 @@ func (c *conn) writeLoop() {
 			} else {
 				s.bytesOut.Add(uint64(len(slab)))
 				s.flushes.Add(1)
+				s.met.flushBytes.Record(int64(len(slab)))
+				s.met.flushPend.Record(int64(pend))
+				now := s.mnow()
+				for _, pm := range pendMeta {
+					s.met.flush[pm.slot].Record(now - pm.served)
+				}
 			}
 		}
 		slab = slab[:0]
+		pendMeta = pendMeta[:0]
 		pend = 0
 	}
 	var handled, issued int64 = 0, -1
@@ -347,6 +377,9 @@ func (c *conn) writeLoop() {
 		if !broken {
 			slab = wire.MustAppendResponse(slab, &resp.Response)
 			pend++
+			if resp.served != 0 {
+				pendMeta = append(pendMeta, respMeta{uint8(opSlot(resp.Op)), resp.served})
+			}
 		}
 		c.recycleRespBufs(&resp)
 		c.credits <- struct{}{}
@@ -379,18 +412,63 @@ func (c *conn) recycleRespBufs(resp *svResp) {
 	}
 }
 
+// latencySampleMask sets the server's stage-latency sampling rate to one
+// in (mask+1) requests; must be a power of two minus one. Two clock
+// reads cost ~100ns on some hosts, so sampling keeps the pipeline's
+// per-request overhead to a counter increment and a branch. Setting
+// Options.SlowOpThreshold forces every request onto the clocked path —
+// the slow-op log must not sample — at that clocking cost.
+var latencySampleMask uint32 = 7
+
+// executeOne runs one request through serve with the stage instrumentation
+// around it: the queue-wait histogram (batch ingest t0 to execution start),
+// the execute histogram, the per-class whole-request histogram backing the
+// wire Stats latency summary, and the slow-op check. Stage latencies are
+// sampled one in latencySampleMask+1 requests via ctr, a counter owned by
+// the calling executor goroutine (the reader's on the inline path, the
+// worker's on the steered path). wid hints the striped counters. A sampled
+// response carries its ready time so the writer can charge the flush-wait
+// stage; an unsampled one carries zero and the writer skips it.
+func (c *conn) executeOne(ss *store.Session, req *wire.Request, t0 int64, wid int, ctr *uint32) svResp {
+	s := c.srv
+	*ctr++
+	if *ctr&latencySampleMask != 0 && s.opts.SlowOpThreshold == 0 {
+		return c.serve(ss, req, wid)
+	}
+	start := s.mnow()
+	out := c.serve(ss, req, wid)
+	now := s.mnow()
+	slot := opSlot(req.Op)
+	m := s.met
+	m.queue[slot].Record(start - t0)
+	m.exec[slot].Record(now - start)
+	m.class[opClasses[slot]].Record(now - t0)
+	if thr := int64(s.opts.SlowOpThreshold); thr > 0 && now-t0 >= thr {
+		s.noteSlow(req, slot, start-t0, now-start, now)
+	}
+	if now == 0 {
+		now = 1 // mnow()==0 only at the epoch instant; keep served != 0
+	}
+	out.served = now
+	return out
+}
+
 // serve executes one request against the given session and shapes the
 // response. Store-level failures become StatusErr; a closed store (the
 // server lost a race with Store.Close) becomes StatusClosed. Responses that
 // borrow pooled buffers (Scan pairs, varlen values) carry them in the
-// svResp wrapper for the writer to recycle.
-func (c *conn) serve(ss *store.Session, req *wire.Request) svResp {
+// svResp wrapper for the writer to recycle. wid hints the per-opcode
+// striped counters.
+func (c *conn) serve(ss *store.Session, req *wire.Request, wid int) svResp {
 	s := c.srv
 	s.ops.Add(1)
+	slot := opSlot(req.Op)
+	s.met.reqs[slot].Inc(wid)
 	out := svResp{Response: wire.Response{ID: req.ID, Op: req.Op, Status: wire.StatusOK}}
 	resp := &out.Response
 	fail := func(err error) svResp {
 		s.errs.Add(1)
+		s.met.errs[slot].Inc(wid)
 		resp.Status = wire.StatusErr
 		if errors.Is(err, store.ErrClosed) {
 			resp.Status = wire.StatusClosed
@@ -517,6 +595,7 @@ func (c *conn) serve(ss *store.Session, req *wire.Request) svResp {
 	case wire.OpStats:
 		st := s.Stats()
 		vs := s.st.ValueStats()
+		sum := s.met.classSummary()
 		resp.Stats = wire.Stats{
 			Ops:           st.Ops,
 			Errors:        st.Errors,
@@ -527,6 +606,12 @@ func (c *conn) serve(ss *store.Session, req *wire.Request) svResp {
 			VlogLive:      uint64(vs.Live),
 			VlogGarbage:   uint64(vs.Garbage),
 			VlogReclaimed: uint64(vs.Reclaimed),
+			ReadP50:       sum[0],
+			ReadP99:       sum[1],
+			WriteP50:      sum[2],
+			WriteP99:      sum[3],
+			ScanP50:       sum[4],
+			ScanP99:       sum[5],
 		}
 	default:
 		return fail(errors.New("server: unhandled opcode " + req.Op.String()))

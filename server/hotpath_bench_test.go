@@ -31,10 +31,12 @@ func newServePath(tb testing.TB, nKeys int) (*conn, *store.Session, []uint64) {
 	return newConn(s, nil), ss, keys
 }
 
-// serveEncode runs one request through serve and the writer's encode step,
-// recycling the pooled buffers the way writeLoop does.
+// serveEncode runs one request through executeOne — serve plus the stage
+// instrumentation, so the alloc pins cover the metrics record path — and
+// the writer's encode step, recycling the pooled buffers the way writeLoop
+// does.
 func serveEncode(c *conn, ss *store.Session, req *wire.Request, buf []byte) ([]byte, wire.Status) {
-	resp := c.serve(ss, req)
+	resp := c.executeOne(ss, req, c.srv.mnow(), 0, &c.sampleCtr)
 	buf, err := wire.AppendResponse(buf[:0], &resp.Response)
 	if err != nil {
 		panic(err)

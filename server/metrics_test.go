@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/internal/metrics"
+	"repro/store"
+)
+
+// TestMetricsEndToEnd drives real traffic through a loopback server and
+// checks the whole observability chain: the Prometheus rendering lints,
+// the per-opcode and stage families carry the traffic, the store and pmem
+// families are folded into the same registry, and the wire Stats frame
+// reports per-class latency summaries.
+func TestMetricsEndToEnd(t *testing.T) {
+	var logMu sync.Mutex
+	var logBuf bytes.Buffer
+	ts := startServer(t, store.Options{}, Options{
+		SlowOpThreshold: time.Nanosecond, // everything is "slow": exercises the log path
+		Logf: func(format string, args ...any) {
+			logMu.Lock()
+			fmt.Fprintf(&logBuf, format+"\n", args...)
+			logMu.Unlock()
+		},
+	})
+	c, err := client.Dial(ts.addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const nOps = 200
+	for i := uint64(0); i < nOps; i++ {
+		if err := c.Put(i, i*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < nOps; i++ {
+		if _, _, err := c.Get(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Scan(0, ^uint64(0), 50); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wire Stats latency summary: reads and writes have executed, so their
+	// class quantiles must be populated and ordered (p50 <= p99).
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReadP50 == 0 || stats.WriteP50 == 0 || stats.ScanP50 == 0 {
+		t.Errorf("wire stats missing class p50s: %+v", stats)
+	}
+	if stats.ReadP50 > stats.ReadP99 || stats.WriteP50 > stats.WriteP99 {
+		t.Errorf("wire stats quantiles out of order: %+v", stats)
+	}
+
+	// Scrape the registry and lint it like CI's metricscheck does.
+	reg := ts.srv.Metrics()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.LintText(buf.Bytes())
+	if err != nil {
+		t.Fatalf("scrape does not lint: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		"pmkv_server_requests_total",
+		"pmkv_server_request_errors_total",
+		"pmkv_server_request_stage_seconds",
+		"pmkv_server_request_seconds",
+		"pmkv_server_read_batch_requests",
+		"pmkv_server_flush_bytes",
+		"pmkv_server_connections_live",
+		"pmkv_store_op_seconds",
+		"pmkv_store_vlog_bytes",
+		"pmkv_pmem_loads_total",
+	} {
+		if !fams[want] {
+			t.Errorf("family %s missing from scrape", want)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{
+		fmt.Sprintf(`pmkv_server_requests_total{op="Get"} %d`, nOps),
+		fmt.Sprintf(`pmkv_server_requests_total{op="Put"} %d`, nOps),
+		`pmkv_server_requests_total{op="Scan"} 1`,
+		fmt.Sprintf(`pmkv_server_request_stage_seconds_count{op="Get",stage="execute"} %d`, nOps),
+		fmt.Sprintf(`pmkv_server_request_stage_seconds_count{op="Get",stage="queue"} %d`, nOps),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	// Store-level latencies sample 1-in-8 ops regardless of
+	// SlowOpThreshold (which only forces full clocking server-side), so
+	// bound the count from below rather than matching it exactly.
+	if got := sampleValue(t, out, `pmkv_store_op_seconds_count{op="Get"}`); got < nOps/16 {
+		t.Errorf("store Get histogram count = %v, want >= %d (1-in-8 sampled)", got, nOps/16)
+	}
+
+	// The flush stage records after the write syscall, concurrently with
+	// this test's assertions; poll briefly instead of racing it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s := ts.srv.met.flush[opSlot(1)].Snapshot() // Get's flush-wait hist
+		if s.Count() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Error("flush-stage histogram never recorded")
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Slow-op log: threshold 1ns marks everything slow; the rate limiter
+	// still guarantees at least the first line.
+	if got := ts.srv.met.slowOps.Load(); got == 0 {
+		t.Error("slow-op counter never incremented despite 1ns threshold")
+	}
+	logMu.Lock()
+	logged := logBuf.String()
+	logMu.Unlock()
+	if !strings.Contains(logged, "slow op") {
+		t.Errorf("slow-op log line missing from Logf output:\n%s", logged)
+	}
+}
+
+// sampleValue finds the exposition line for series and parses its value.
+func sampleValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+			t.Fatalf("series %s: unparseable value %q", series, rest)
+		}
+		return v
+	}
+	t.Fatalf("series %s missing from scrape", series)
+	return 0
+}
+
+// TestMetricsHandler serves a scrape over the HTTP handler and checks the
+// content type and body shape.
+func TestMetricsHandler(t *testing.T) {
+	ts := startServer(t, store.Options{}, Options{})
+	rec := httptest.NewRecorder()
+	ts.srv.Metrics().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain", ct)
+	}
+	if _, err := metrics.LintText(rec.Body.Bytes()); err != nil {
+		t.Errorf("handler body does not lint: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/store"
 	"repro/wire"
 )
@@ -84,8 +85,16 @@ type Options struct {
 	// Default wire.MaxPairs.
 	MaxScan int
 	// Logf, when set, receives connection-level diagnostics (accept and
-	// protocol failures). Default: silent.
+	// protocol failures) and the slow-op log. Default: silent.
 	Logf func(format string, args ...any)
+	// SlowOpThreshold, when positive, logs (via Logf, rate-limited to one
+	// line per 100ms with a suppressed count) every request whose queue
+	// wait plus execution time meets it, with its op, key, and per-stage
+	// breakdown. Setting it also switches the stage-latency histograms
+	// from 1-in-8 sampling to clocking every request (two extra clock
+	// reads per request), since the slow-op log must not sample.
+	// Default: disabled.
+	SlowOpThreshold time.Duration
 }
 
 func (o *Options) fill() {
@@ -140,6 +149,13 @@ type Server struct {
 	st   *store.Store
 	opts Options
 
+	// epoch anchors mnow(), the int64 monotonic clock every stage
+	// timestamp is measured on; met holds the always-on instrumentation
+	// and reg renders it (server families plus the store's).
+	epoch time.Time
+	met   *serverMetrics
+	reg   *metrics.Registry
+
 	ops, errs             atomic.Uint64
 	bytesIn, bytesOut     atomic.Uint64
 	connsTotal            atomic.Uint64
@@ -167,14 +183,25 @@ type Server struct {
 // answered with wire.StatusClosed).
 func New(st *store.Store, opts Options) *Server {
 	opts.fill()
-	return &Server{
+	s := &Server{
 		st:        st,
 		opts:      opts,
+		epoch:     time.Now(),
+		met:       newServerMetrics(opts.Workers),
+		reg:       metrics.NewRegistry(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*conn]struct{}),
 		slabs:     make(chan []wire.Request, slabPoolSize),
 	}
+	s.registerMetrics(s.reg)
+	st.RegisterMetrics(s.reg)
+	return s
 }
+
+// Metrics returns the server's registry — every server family plus the
+// store's, ready for Registry.Handler (Prometheus text format) or
+// Registry.ExpvarFunc.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {

@@ -36,10 +36,13 @@ const (
 	slabPoolSize = 64
 )
 
-// task is one connection's ingest batch, executed by its home worker.
+// task is one connection's ingest batch, executed by its home worker. t0
+// is the batch's ingest time on the server's monotonic clock; the gap to
+// execution start is each request's queue-wait stage.
 type task struct {
 	c    *conn
 	reqs []wire.Request
+	t0   int64
 }
 
 // startWorkersLocked spins up the worker set and rings on first use.
@@ -53,7 +56,7 @@ func (s *Server) startWorkersLocked() {
 	for i := range s.rings {
 		s.rings[i] = make(chan task, ringDepth)
 		s.workerWG.Add(1)
-		go s.workerLoop(s.rings[i])
+		go s.workerLoop(i, s.rings[i])
 	}
 }
 
@@ -77,15 +80,17 @@ func (s *Server) stopWorkers() {
 
 // workerLoop drains one ring: execute the batch in order, queue each
 // response on the owning connection (never blocking — see conn.credits),
-// then release the batch's steered count and recycle the slab.
-func (s *Server) workerLoop(ring chan task) {
+// then release the batch's steered count and recycle the slab. wid is the
+// worker's index, the stripe hint for the per-opcode counters.
+func (s *Server) workerLoop(wid int, ring chan task) {
 	defer s.workerWG.Done()
 	ss := s.st.NewSession()
 	defer ss.Close()
+	var sctr uint32 // this worker's stage-latency sample counter
 	for t := range ring {
 		c := t.c
 		for i := range t.reqs {
-			c.respCh <- c.serve(ss, &t.reqs[i])
+			c.respCh <- c.executeOne(ss, &t.reqs[i], t.t0, wid, &sctr)
 		}
 		c.steered.Add(-int64(len(t.reqs)))
 		s.putSlab(t.reqs)

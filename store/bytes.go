@@ -3,6 +3,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/index"
 	"repro/internal/vlog"
@@ -98,6 +99,9 @@ func (ss *Session) PutBytes(key uint64, val []byte) error {
 	if !ss.s.acquire() {
 		return ErrClosed
 	}
+	if ss.sampleOp() {
+		defer ss.s.met.putBytes.RecordSince(time.Now())
+	}
 	i := ss.s.ShardFor(key)
 	sh := &ss.s.shards[i]
 	sh.gc.varMu.RLock()
@@ -173,6 +177,9 @@ func (ss *Session) GetBytes(key uint64, dst []byte) ([]byte, bool, error) {
 		return dst, false, ErrClosed
 	}
 	defer ss.s.release()
+	if ss.sampleOp() {
+		defer ss.s.met.getBytes.RecordSince(time.Now())
+	}
 	i := ss.s.ShardFor(key)
 	sh := &ss.s.shards[i]
 	sh.gc.varMu.RLock()
@@ -238,6 +245,9 @@ func (ss *Session) ScanBytes(lo, hi uint64, max int, fn func(key uint64, val []b
 		return ErrClosed
 	}
 	defer ss.s.release()
+	if ss.sampleOp() {
+		defer ss.s.met.scanBytes.RecordSince(time.Now())
+	}
 	kvs, err := ss.ScanLimit(lo, hi, max)
 	if err != nil {
 		return err

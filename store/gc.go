@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"time"
 
 	"repro/index"
 	"repro/internal/vlog"
@@ -126,7 +127,8 @@ func (ss *Session) compactShard(i, maxExtents int, wait bool) (vlog.GCResult, er
 	}
 	defer sh.gc.runMu.Unlock()
 	th := ss.ths[i]
-	return sh.vl.GC(th, maxExtents, vlog.GCFuncs{
+	start := time.Now()
+	res, err := sh.vl.GC(th, maxExtents, vlog.GCFuncs{
 		Live: func(key uint64, ref vlog.Ref) bool {
 			v, ok := sh.ix.Get(th, key)
 			return ok && v == uint64(ref)
@@ -145,6 +147,8 @@ func (ss *Session) compactShard(i, maxExtents int, wait bool) (vlog.GCResult, er
 			sh.gc.varMu.Unlock()
 		},
 	})
+	ss.s.met.recordGC(start, res.Relocated)
+	return res, err
 }
 
 // maybeGC is the automatic trigger, called after an operation turned a

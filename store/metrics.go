@@ -1,0 +1,119 @@
+package store
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// opSampleMask sets the per-session latency sampling rate to one in
+// (mask+1) operations; must be a power of two minus one. Tests set it to
+// 0 to clock every operation. GC pass histograms are never sampled.
+var opSampleMask uint32 = 7
+
+// storeMetrics is the store's always-on instrumentation: one latency
+// histogram per session operation (recorded with two clock reads around
+// one in every opSampleMask+1 calls — lock-free, allocation-free; see
+// Session.sampleOp) and the GC pass distributions. Counters for the
+// value log and the pmem layer are not duplicated here; RegisterMetrics
+// exposes the existing accounting read-function-backed.
+type storeMetrics struct {
+	get, put, del, putBatch, scan *metrics.Histogram
+	getBytes, putBytes, scanBytes *metrics.Histogram
+
+	// gcPause is the duration of one GC pass (manual or automatic — the
+	// latency a triggering writer absorbs); gcRelocated the live records
+	// each pass copied forward.
+	gcPause     *metrics.Histogram
+	gcRelocated *metrics.Histogram
+}
+
+func newStoreMetrics() *storeMetrics {
+	return &storeMetrics{
+		get:         metrics.NewHistogram(),
+		put:         metrics.NewHistogram(),
+		del:         metrics.NewHistogram(),
+		putBatch:    metrics.NewHistogram(),
+		scan:        metrics.NewHistogram(),
+		getBytes:    metrics.NewHistogram(),
+		putBytes:    metrics.NewHistogram(),
+		scanBytes:   metrics.NewHistogram(),
+		gcPause:     metrics.NewHistogram(),
+		gcRelocated: metrics.NewHistogram(),
+	}
+}
+
+// RegisterMetrics exposes the store's instrumentation on reg: per-operation
+// latency histograms, GC pass distributions, the value-log space accounting,
+// and the pmem layer's simulated-device counters. Safe to call on several
+// registries; the families read shared live state.
+func (s *Store) RegisterMetrics(reg *metrics.Registry) {
+	m := s.met
+	ops := []struct {
+		name string
+		h    *metrics.Histogram
+	}{
+		{"Get", m.get}, {"Put", m.put}, {"Delete", m.del},
+		{"PutBatch", m.putBatch}, {"Scan", m.scan},
+		{"GetBytes", m.getBytes}, {"PutBytes", m.putBytes},
+		{"ScanBytes", m.scanBytes},
+	}
+	for _, op := range ops {
+		reg.Histogram("pmkv_store_op_seconds", `op="`+op.name+`"`,
+			"store operation latency", 1e-9, op.h)
+	}
+	reg.Histogram("pmkv_store_gc_pause_seconds", "",
+		"duration of one value-log GC pass", 1e-9, m.gcPause)
+	reg.Histogram("pmkv_store_gc_relocated_records", "",
+		"live records relocated per GC pass", 1, m.gcRelocated)
+
+	vs := func(read func(ValueLogStats) int64) func() float64 {
+		return func() float64 { return float64(read(s.ValueStats())) }
+	}
+	reg.Gauge("pmkv_store_vlog_bytes", `state="live"`,
+		"value-log payload bytes by state",
+		vs(func(v ValueLogStats) int64 { return v.Live }))
+	reg.Gauge("pmkv_store_vlog_bytes", `state="garbage"`,
+		"value-log payload bytes by state",
+		vs(func(v ValueLogStats) int64 { return v.Garbage }))
+	reg.Gauge("pmkv_store_vlog_bytes", `state="cap"`,
+		"value-log payload bytes by state",
+		vs(func(v ValueLogStats) int64 { return v.Cap }))
+	vc := func(read func(ValueLogStats) int64) func() uint64 {
+		return func() uint64 { return uint64(read(s.ValueStats())) }
+	}
+	reg.Counter("pmkv_store_vlog_reclaimed_bytes_total", "",
+		"arena bytes value-log GC returned to the pools",
+		vc(func(v ValueLogStats) int64 { return v.Reclaimed }))
+	reg.Counter("pmkv_store_vlog_relocated_total", "",
+		"live records value-log GC copied forward",
+		vc(func(v ValueLogStats) int64 { return v.Relocated }))
+	reg.Counter("pmkv_store_vlog_gc_extents_total", "",
+		"extents value-log GC reclaimed",
+		vc(func(v ValueLogStats) int64 { return v.GCPasses }))
+
+	reg.Counter("pmkv_pmem_loads_total", "",
+		"word loads issued to the simulated device",
+		func() uint64 { return s.Stats().Loads })
+	reg.Counter("pmkv_pmem_stores_total", "",
+		"word stores issued to the simulated device",
+		func() uint64 { return s.Stats().Stores })
+	reg.Counter("pmkv_pmem_charged_reads_total", "",
+		"serial line accesses that paid PM read latency",
+		func() uint64 { return s.Stats().ChargedReads })
+	reg.Counter("pmkv_pmem_flushed_lines_total", "",
+		"cache lines written back by Flush/Persist",
+		func() uint64 { return s.Stats().FlushedLines })
+	reg.Counter("pmkv_pmem_flush_calls_total", "",
+		"Flush/Persist invocations",
+		func() uint64 { return s.Stats().FlushCalls })
+	reg.Counter("pmkv_pmem_fences_total", "",
+		"ordering fences issued",
+		func() uint64 { return s.Stats().Fences })
+}
+
+// recordGC charges one GC pass to the pause and relocation histograms.
+func (m *storeMetrics) recordGC(start time.Time, relocated int) {
+	m.gcPause.RecordSince(start)
+	m.gcRelocated.Record(int64(relocated))
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"container/heap"
 	"sync"
+	"time"
 )
 
 // Scan visits pairs with lo <= key <= hi in ascending global key order,
@@ -92,6 +93,9 @@ func (ss *Session) ScanLimit(lo, hi uint64, max int) ([]KV, error) {
 		return nil, ErrClosed
 	}
 	defer ss.s.release()
+	if ss.sampleOp() {
+		defer ss.s.met.scan.RecordSince(time.Now())
+	}
 	n := len(ss.ths)
 	if ss.scanBufs == nil {
 		// First use: build the per-shard collector closures once, so

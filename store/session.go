@@ -1,6 +1,8 @@
 package store
 
 import (
+	"time"
+
 	"repro/index"
 	"repro/internal/pmem"
 )
@@ -31,6 +33,22 @@ type Session struct {
 
 	// valBuf is the reusable value buffer behind ScanBytes callbacks.
 	valBuf []byte
+
+	// opTick drives latency sampling (see sampleOp). Plain field: a
+	// Session is single-goroutine by contract.
+	opTick uint32
+}
+
+// sampleOp reports whether this operation's latency should be clocked.
+// Reading the clock twice costs ~100ns on some hosts — a large fraction
+// of a ~0.5µs Get — so the per-op histograms observe one in every
+// opSampleMask+1 operations. Quantiles over a uniform 1-in-N sample of
+// the op stream converge to the true quantiles; only the histogram
+// _count reflects samples, not operations (exact op counts live in the
+// server's per-opcode counters).
+func (ss *Session) sampleOp() bool {
+	ss.opTick++
+	return ss.opTick&opSampleMask == 0
 }
 
 // NewSession returns a fresh Session bound to the calling goroutine. It may
@@ -68,6 +86,9 @@ func (ss *Session) Put(key, val uint64) error {
 	if !ss.s.acquire() {
 		return ErrClosed
 	}
+	if ss.sampleOp() {
+		defer ss.s.met.put.RecordSince(time.Now())
+	}
 	i := ss.s.ShardFor(key)
 	old, existed, err := index.Exchange(ss.s.shards[i].ix, ss.ths[i], key, val)
 	stale := err == nil && existed && old != val && ss.retireWord(i, key, old)
@@ -85,6 +106,9 @@ func (ss *Session) Get(key uint64) (uint64, bool, error) {
 		return 0, false, ErrClosed
 	}
 	defer ss.s.release()
+	if ss.sampleOp() {
+		defer ss.s.met.get.RecordSince(time.Now())
+	}
 	i := ss.s.ShardFor(key)
 	v, ok := ss.s.shards[i].ix.Get(ss.ths[i], key)
 	return v, ok, nil
@@ -98,6 +122,9 @@ func (ss *Session) Get(key uint64) (uint64, bool, error) {
 func (ss *Session) Delete(key uint64) (bool, error) {
 	if !ss.s.acquire() {
 		return false, ErrClosed
+	}
+	if ss.sampleOp() {
+		defer ss.s.met.del.RecordSince(time.Now())
 	}
 	i := ss.s.ShardFor(key)
 	old, existed := index.Remove(ss.s.shards[i].ix, ss.ths[i], key)
@@ -124,6 +151,9 @@ func (ss *Session) PutBatch(pairs []KV) error {
 	}
 	if !ss.s.acquire() {
 		return ErrClosed
+	}
+	if ss.sampleOp() {
+		defer ss.s.met.putBatch.RecordSince(time.Now())
 	}
 	n := len(ss.ths)
 	groups := make([][]KV, n)

@@ -159,6 +159,7 @@ func shape(kind index.Kind, nodeSize int) int64 {
 type Store struct {
 	opts   Options
 	shards []shard
+	met    *storeMetrics
 
 	// closed+inflight form the close gate: every Session operation holds
 	// an inflight reference for its duration, and Close flips closed
@@ -199,7 +200,7 @@ func Open(opts Options) (*Store, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
 	}
-	s := &Store{opts: opts, shards: make([]shard, opts.Shards)}
+	s := &Store{opts: opts, shards: make([]shard, opts.Shards), met: newStoreMetrics()}
 	for i := range s.shards {
 		mem := opts.Mem
 		mem.Size = opts.ShardSize
@@ -237,7 +238,7 @@ func Reopen(pools []*pmem.Pool, opts Options) (*Store, error) {
 	if len(pools) != opts.Shards {
 		return nil, fmt.Errorf("store: reopen with %d pools, want %d", len(pools), opts.Shards)
 	}
-	s := &Store{opts: opts, shards: make([]shard, len(pools))}
+	s := &Store{opts: opts, shards: make([]shard, len(pools)), met: newStoreMetrics()}
 	for i, p := range pools {
 		th := p.NewThread()
 		if got, want := p.Root(th, stampSlot), stamp(i, len(pools)); got != want {

@@ -120,6 +120,17 @@ type Stats struct {
 	VlogLive      uint64 // value-log payload bytes the store still references
 	VlogGarbage   uint64 // value-log payload bytes awaiting GC
 	VlogReclaimed uint64 // arena bytes value-log GC has returned to the pools
+
+	// Per-op-class server-side latency summaries, in nanoseconds, measured
+	// over the whole request lifetime (queue wait + execute). Classes:
+	// read = Get/GetV/Stats, write = Put/PutV/Delete/PutBatch,
+	// scan = Scan/ScanV. Zero when the class has served no requests.
+	ReadP50  uint64
+	ReadP99  uint64
+	WriteP50 uint64
+	WriteP99 uint64
+	ScanP50  uint64
+	ScanP99  uint64
 }
 
 // Request is a decoded request frame. Fields beyond ID and Op are meaningful
@@ -167,7 +178,7 @@ var be = binary.BigEndian
 const (
 	reqHeader  = 8 + 1
 	respHeader = 8 + 1 + 1
-	statsWords = 9
+	statsWords = 15
 )
 
 // ReadFrame reads one length-prefixed frame body from r. scratch, if large
@@ -385,6 +396,8 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				r.Stats.Ops, r.Stats.Errors, r.Stats.BytesIn,
 				r.Stats.BytesOut, r.Stats.ConnsLive, r.Stats.ConnsTotal,
 				r.Stats.VlogLive, r.Stats.VlogGarbage, r.Stats.VlogReclaimed,
+				r.Stats.ReadP50, r.Stats.ReadP99, r.Stats.WriteP50,
+				r.Stats.WriteP99, r.Stats.ScanP50, r.Stats.ScanP99,
 			} {
 				dst = be.AppendUint64(dst, v)
 			}
@@ -545,6 +558,12 @@ func DecodeResponse(body []byte) (Response, error) {
 			VlogLive:      be.Uint64(p[48:]),
 			VlogGarbage:   be.Uint64(p[56:]),
 			VlogReclaimed: be.Uint64(p[64:]),
+			ReadP50:       be.Uint64(p[72:]),
+			ReadP99:       be.Uint64(p[80:]),
+			WriteP50:      be.Uint64(p[88:]),
+			WriteP99:      be.Uint64(p[96:]),
+			ScanP50:       be.Uint64(p[104:]),
+			ScanP99:       be.Uint64(p[112:]),
 		}
 	default:
 		return r, malformed("unknown opcode %d", uint8(r.Op))

@@ -38,6 +38,7 @@ func responseCases() []Response {
 		{ID: 8, Op: OpStats, Status: StatusOK, Stats: Stats{
 			Ops: 1, Errors: 2, BytesIn: 3, BytesOut: 4, ConnsLive: 5, ConnsTotal: 6,
 			VlogLive: 7, VlogGarbage: 8, VlogReclaimed: 9,
+			ReadP50: 10, ReadP99: 11, WriteP50: 12, WriteP99: 13, ScanP50: 14, ScanP99: 15,
 		}},
 		{ID: 9, Op: OpPut, Status: StatusErr, Msg: "shard 3: arena exhausted"},
 		{ID: 10, Op: OpGet, Status: StatusClosed, Msg: "store: closed"},
