@@ -44,10 +44,22 @@ func DialPool(addr string, n int, opts Options) (*Pool, error) {
 	return p, nil
 }
 
-// Conn returns the next connection round-robin. Callers needing request
-// ordering should pin one Conn rather than going through the Pool.
+// Conn returns the next connection round-robin, skipping connections that
+// have terminally failed (Err != nil): a dead conn instantly fails every
+// call issued on it, so handing it out would turn one broken socket into a
+// permanent error stripe across the workload. If every connection is dead
+// the round-robin pick is returned anyway — its terminal error is the most
+// useful thing the caller can see. Callers needing request ordering should
+// pin one Conn rather than going through the Pool.
 func (p *Pool) Conn() *Conn {
-	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+	start := p.next.Add(1)
+	n := uint64(len(p.conns))
+	for i := uint64(0); i < n; i++ {
+		if c := p.conns[(start+i)%n]; c.Err() == nil {
+			return c
+		}
+	}
+	return p.conns[start%n]
 }
 
 // Size returns the number of connections.
