@@ -112,10 +112,11 @@ func TestSlowClientBackpressure(t *testing.T) {
 		t.Fatalf("healthy conn needed %v for 1000 ops next to a wedged peer", elapsed)
 	}
 
-	// Drain the slow client: every fully-written frame gets its 14-byte
-	// response once the window reopens. The trailing partial frame (if
-	// any) gets nothing — the server is still waiting for its remainder.
-	want := fullFrames * 14
+	// Drain the slow client: every fully-written frame gets its response
+	// (frame header + the 10-byte NotFound body) once the window reopens.
+	// The trailing partial frame (if any) gets nothing — the server is
+	// still waiting for its remainder.
+	want := fullFrames * (wire.FrameHdrSize + 10)
 	got := 0
 	buf := make([]byte, 64<<10)
 	for got < want {

@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"net"
 	"sync"
@@ -295,9 +297,11 @@ func TestMalformedFrame(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nc.Close()
-	// Valid length prefix, body with unknown opcode 0xee.
+	// Valid frame header (length + CRC), body with unknown opcode 0xee.
 	body := append(make([]byte, 8), 0xee)
-	frame := append([]byte{0, 0, 0, byte(len(body))}, body...)
+	frame := []byte{0, 0, 0, byte(len(body))}
+	frame = binary.BigEndian.AppendUint32(frame, crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)))
+	frame = append(frame, body...)
 	if _, err := nc.Write(frame); err != nil {
 		t.Fatal(err)
 	}

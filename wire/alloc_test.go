@@ -67,14 +67,14 @@ func TestDecodeRoundTripAllocs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return b[4:] // strip the length prefix: decoders take the body
+		return b[8:] // strip the frame header: decoders take the body
 	}
 	encodeResp := func(r *Response) []byte {
 		b, err := AppendResponse(nil, r)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return b[4:]
+		return b[8:]
 	}
 
 	// Fixed-size request decodes are allocation-free.

@@ -15,7 +15,7 @@ func FuzzDecodeRequest(f *testing.F) {
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(frame[4:]) // seed with valid bodies (length prefix stripped)
+		f.Add(frame[8:]) // seed with valid bodies (frame header stripped)
 	}
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
@@ -28,10 +28,10 @@ func FuzzDecodeRequest(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decoded request does not re-encode: %v (%+v)", err, req)
 		}
-		if !bytes.Equal(frame[4:], body) {
-			t.Fatalf("re-encoded body differs:\n got %x\nwant %x", frame[4:], body)
+		if !bytes.Equal(frame[8:], body) {
+			t.Fatalf("re-encoded body differs:\n got %x\nwant %x", frame[8:], body)
 		}
-		if got, err := DecodeRequest(frame[4:]); err != nil {
+		if got, err := DecodeRequest(frame[8:]); err != nil {
 			t.Fatalf("re-decode failed: %v (%+v)", err, got)
 		}
 	})
@@ -44,7 +44,7 @@ func FuzzDecodeResponse(f *testing.F) {
 		if err != nil {
 			f.Fatal(err)
 		}
-		f.Add(frame[4:])
+		f.Add(frame[8:])
 	}
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, body []byte) {
@@ -56,8 +56,8 @@ func FuzzDecodeResponse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decoded response does not re-encode: %v (%+v)", err, resp)
 		}
-		if !bytes.Equal(frame[4:], body) {
-			t.Fatalf("re-encoded body differs:\n got %x\nwant %x", frame[4:], body)
+		if !bytes.Equal(frame[8:], body) {
+			t.Fatalf("re-encoded body differs:\n got %x\nwant %x", frame[8:], body)
 		}
 	})
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -79,6 +80,16 @@ const (
 	// StatusClosed reports that the store behind the server is closed
 	// (the server is draining); the payload is a message.
 	StatusClosed
+	// StatusBusy reports that the server shed the request at admission
+	// (its global in-flight cap was reached); the request never executed
+	// and a retry after backoff is expected to succeed. The payload is a
+	// message.
+	StatusBusy
+	// StatusNoSpace reports that a write was refused because the store can
+	// no longer guarantee value-log space (including GC headroom). Reads
+	// and deletes still work; the condition clears once compaction frees
+	// space. The payload is a message.
+	StatusNoSpace
 )
 
 func (st Status) String() string {
@@ -91,6 +102,10 @@ func (st Status) String() string {
 		return "Err"
 	case StatusClosed:
 		return "Closed"
+	case StatusBusy:
+		return "Busy"
+	case StatusNoSpace:
+		return "NoSpace"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(st))
 	}
@@ -112,7 +127,7 @@ type VKV struct {
 // values live behind a log the server compacts; see the store package).
 type Stats struct {
 	Ops           uint64 // requests served
-	Errors        uint64 // requests answered with StatusErr or StatusClosed
+	Errors        uint64 // requests answered with StatusErr, StatusClosed, or StatusNoSpace
 	BytesIn       uint64 // request bytes read, including frame headers
 	BytesOut      uint64 // response bytes written, including frame headers
 	ConnsLive     uint64 // currently open connections
@@ -131,6 +146,11 @@ type Stats struct {
 	WriteP99 uint64
 	ScanP50  uint64
 	ScanP99  uint64
+
+	// Overload and failure counters (protocol revision 2).
+	Shed       uint64 // requests answered StatusBusy by the admission cap
+	IdleCloses uint64 // connections closed by the server's read idle timeout
+	Resets     uint64 // connections torn down on transport or protocol errors
 }
 
 // Request is a decoded request frame. Fields beyond ID and Op are meaningful
@@ -157,7 +177,7 @@ type Response struct {
 	VVal   []byte // GetV hit
 	VPairs []VKV  // ScanV (decoded Vals subslice one shared allocation)
 	Stats  Stats  // Stats
-	Msg    string // StatusErr / StatusClosed detail
+	Msg    string // StatusErr/StatusClosed/StatusBusy/StatusNoSpace detail
 }
 
 // Protocol errors. Decoder errors wrap ErrMalformed so transports can treat
@@ -166,6 +186,10 @@ var (
 	ErrMalformed   = errors.New("wire: malformed frame")
 	ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
 	ErrTooManyKV   = errors.New("wire: too many pairs for one frame")
+	// ErrFrameCorrupt reports a frame whose body failed its header CRC:
+	// the bytes on the wire are damaged, framing cannot be trusted, and
+	// the connection must be closed. It wraps ErrMalformed.
+	ErrFrameCorrupt = fmt.Errorf("%w: frame checksum mismatch", ErrMalformed)
 )
 
 func malformed(format string, args ...any) error {
@@ -178,19 +202,32 @@ var be = binary.BigEndian
 const (
 	reqHeader  = 8 + 1
 	respHeader = 8 + 1 + 1
-	statsWords = 15
+	statsWords = 18
 )
 
-// ReadFrame reads one length-prefixed frame body from r. scratch, if large
-// enough, backs the returned slice (callers recycle it across reads); the
-// returned body is valid until the next ReadFrame with the same scratch.
-// Frames longer than max are rejected before any body allocation.
+// FrameHdrSize is the frame header: a 4-byte body length followed by the
+// 4-byte CRC-32C of the body (protocol revision 2; revision 1 had only the
+// length). The checksum makes byte corruption on the wire a deterministic
+// decode failure instead of a silently wrong payload.
+const FrameHdrSize = 8
+
+// castagnoli is the frame CRC table; CRC-32C is hardware-accelerated on
+// amd64 and arm64, so the per-frame cost is a few ns.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ReadFrame reads one frame body from r, validating its length bounds and
+// header CRC. scratch, if large enough, backs the returned slice (callers
+// recycle it across reads); the returned body is valid until the next
+// ReadFrame with the same scratch. Frames longer than max are rejected
+// before any body allocation; a body failing its CRC fails with
+// ErrFrameCorrupt (the connection is unusable — a corrupt length would
+// misalign every later frame).
 func ReadFrame(r io.Reader, max uint32, scratch []byte) ([]byte, error) {
-	var hdr [4]byte
+	var hdr [FrameHdrSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := be.Uint32(hdr[:])
+	n := be.Uint32(hdr[:4])
 	if n > max {
 		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, n, max)
 	}
@@ -210,34 +247,40 @@ func ReadFrame(r io.Reader, max uint32, scratch []byte) ([]byte, error) {
 		}
 		return nil, err
 	}
+	if crc32.Checksum(buf, castagnoli) != be.Uint32(hdr[4:]) {
+		return nil, ErrFrameCorrupt
+	}
 	return buf, nil
 }
 
 // FrameBuffered reports whether br already holds one complete frame, so a
 // batching reader can keep decoding without risking a blocking Read. It
-// never reads from the underlying connection: with fewer than 4 buffered
-// bytes it answers false outright rather than letting Peek block. An
-// oversized length prefix answers true — ReadFrame will reject it from the
-// buffered bytes alone, also without blocking.
+// never reads from the underlying connection: with fewer than FrameHdrSize
+// buffered bytes it answers false outright rather than letting Peek block.
+// An oversized length prefix answers true — ReadFrame will reject it from
+// the buffered bytes alone, also without blocking.
 func FrameBuffered(br *bufio.Reader, max uint32) bool {
-	if br.Buffered() < 4 {
+	if br.Buffered() < FrameHdrSize {
 		return false
 	}
-	hdr, err := br.Peek(4)
+	hdr, err := br.Peek(FrameHdrSize)
 	if err != nil {
 		return false
 	}
-	n := be.Uint32(hdr)
+	n := be.Uint32(hdr[:4])
 	if n > max {
 		return true
 	}
-	return br.Buffered() >= 4+int(n)
+	return br.Buffered() >= FrameHdrSize+int(n)
 }
 
-// appendFrame completes a frame started by reserving 4 length bytes at
-// lenAt: it back-patches the length with everything appended since.
+// appendFrame completes a frame started by reserving FrameHdrSize header
+// bytes at lenAt: it back-patches the length and CRC over everything
+// appended since.
 func appendFrame(dst []byte, lenAt int) []byte {
-	be.PutUint32(dst[lenAt:], uint32(len(dst)-lenAt-4))
+	body := dst[lenAt+FrameHdrSize:]
+	be.PutUint32(dst[lenAt:], uint32(len(body)))
+	be.PutUint32(dst[lenAt+4:], crc32.Checksum(body, castagnoli))
 	return dst
 }
 
@@ -252,7 +295,7 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		return dst, fmt.Errorf("%w: PutV value %d > %d bytes", ErrFrameTooBig, len(r.VVal), MaxValue)
 	}
 	lenAt := len(dst)
-	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
 	dst = be.AppendUint64(dst, r.ID)
 	dst = append(dst, byte(r.Op))
 	switch r.Op {
@@ -373,11 +416,12 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 		return dst, fmt.Errorf("%w: GetV value %d > %d bytes", ErrFrameTooBig, len(r.VVal), MaxValue)
 	}
 	lenAt := len(dst)
-	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
 	dst = be.AppendUint64(dst, r.ID)
 	dst = append(dst, byte(r.Op), byte(r.Status))
 	switch {
-	case r.Status == StatusErr || r.Status == StatusClosed:
+	case r.Status == StatusErr || r.Status == StatusClosed ||
+		r.Status == StatusBusy || r.Status == StatusNoSpace:
 		dst = append(dst, r.Msg...)
 	case r.Status != StatusOK:
 		// NotFound and any forward-compatible status carry no payload.
@@ -398,6 +442,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				r.Stats.VlogLive, r.Stats.VlogGarbage, r.Stats.VlogReclaimed,
 				r.Stats.ReadP50, r.Stats.ReadP99, r.Stats.WriteP50,
 				r.Stats.WriteP99, r.Stats.ScanP50, r.Stats.ScanP99,
+				r.Stats.Shed, r.Stats.IdleCloses, r.Stats.Resets,
 			} {
 				dst = be.AppendUint64(dst, v)
 			}
@@ -454,7 +499,7 @@ func DecodeResponse(body []byte) (Response, error) {
 	r.Status = Status(body[9])
 	p := body[respHeader:]
 	switch r.Status {
-	case StatusErr, StatusClosed:
+	case StatusErr, StatusClosed, StatusBusy, StatusNoSpace:
 		r.Msg = string(p)
 		return r, nil
 	case StatusNotFound:
@@ -564,6 +609,9 @@ func DecodeResponse(body []byte) (Response, error) {
 			WriteP99:      be.Uint64(p[96:]),
 			ScanP50:       be.Uint64(p[104:]),
 			ScanP99:       be.Uint64(p[112:]),
+			Shed:          be.Uint64(p[120:]),
+			IdleCloses:    be.Uint64(p[128:]),
+			Resets:        be.Uint64(p[136:]),
 		}
 	default:
 		return r, malformed("unknown opcode %d", uint8(r.Op))

@@ -39,10 +39,13 @@ func responseCases() []Response {
 			Ops: 1, Errors: 2, BytesIn: 3, BytesOut: 4, ConnsLive: 5, ConnsTotal: 6,
 			VlogLive: 7, VlogGarbage: 8, VlogReclaimed: 9,
 			ReadP50: 10, ReadP99: 11, WriteP50: 12, WriteP99: 13, ScanP50: 14, ScanP99: 15,
+			Shed: 16, IdleCloses: 17, Resets: 18,
 		}},
 		{ID: 9, Op: OpPut, Status: StatusErr, Msg: "shard 3: arena exhausted"},
 		{ID: 10, Op: OpGet, Status: StatusClosed, Msg: "store: closed"},
 		{ID: 11, Op: OpPut, Status: StatusErr, Msg: ""},
+		{ID: 18, Op: OpPut, Status: StatusBusy, Msg: "server overloaded"},
+		{ID: 19, Op: OpPutV, Status: StatusNoSpace, Msg: "store: value log out of space"},
 		{ID: 12, Op: OpGetV, Status: StatusOK, VVal: []byte("byte-string value")},
 		{ID: 13, Op: OpGetV, Status: StatusNotFound},
 		{ID: 14, Op: OpPutV, Status: StatusOK},
@@ -143,12 +146,12 @@ func TestStreamedFrames(t *testing.T) {
 
 func TestReadFrameLimits(t *testing.T) {
 	// Oversized frame: rejected from the header alone.
-	huge := []byte{0xff, 0xff, 0xff, 0xff}
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
 	if _, err := ReadFrame(bytes.NewReader(huge), MaxFrame, nil); !errors.Is(err, ErrFrameTooBig) {
 		t.Fatalf("oversized: %v, want ErrFrameTooBig", err)
 	}
-	// Undersized body length.
-	tiny := []byte{0, 0, 0, 4, 1, 2, 3, 4}
+	// Undersized body length (rejected before the CRC is consulted).
+	tiny := []byte{0, 0, 0, 4, 0, 0, 0, 0, 1, 2, 3, 4}
 	if _, err := ReadFrame(bytes.NewReader(tiny), MaxFrame, nil); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("undersized: %v, want ErrMalformed", err)
 	}
@@ -159,6 +162,33 @@ func TestReadFrameLimits(t *testing.T) {
 	}
 	if _, err := ReadFrame(bytes.NewReader(frame[:len(frame)-3]), MaxFrame, nil); err != io.ErrUnexpectedEOF {
 		t.Fatalf("truncated: %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestReadFrameCatchesCorruption pins the revision-2 integrity guarantee:
+// flipping any single byte of a frame — header length, header CRC, or any
+// body byte — makes ReadFrame fail rather than hand back damaged bytes.
+func TestReadFrameCatchesCorruption(t *testing.T) {
+	frame, err := AppendRequest(nil, &Request{ID: 7, Op: OpPut, Key: 3, Val: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x20
+		// Feed the stream with trailing padding so a corrupted length that
+		// claims a larger body still finds bytes to read (as it would on a
+		// live connection carrying more frames) instead of hitting EOF.
+		stream := append(bad, make([]byte, 64)...)
+		if _, err := ReadFrame(bytes.NewReader(stream), MaxFrame, nil); err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", i, len(frame))
+		}
+	}
+	// Body corruption specifically is ErrFrameCorrupt (and ErrMalformed).
+	bad := append([]byte(nil), frame...)
+	bad[len(bad)-1] ^= 0x01
+	if _, err := ReadFrame(bytes.NewReader(bad), MaxFrame, nil); !errors.Is(err, ErrFrameCorrupt) || !errors.Is(err, ErrMalformed) {
+		t.Fatalf("body flip: %v, want ErrFrameCorrupt wrapping ErrMalformed", err)
 	}
 }
 
@@ -203,7 +233,7 @@ func TestBatchTooLarge(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(frame) > MaxFrame+4 {
+	if len(frame) > MaxFrame+FrameHdrSize {
 		t.Fatalf("max batch frame is %d bytes, exceeds MaxFrame %d", len(frame), MaxFrame)
 	}
 	// The decoders enforce the same cap, so a hand-rolled peer cannot
@@ -263,7 +293,7 @@ func TestVarlenLimits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(frame) > MaxFrame+4 {
+	if len(frame) > MaxFrame+FrameHdrSize {
 		t.Fatalf("max PutV frame is %d bytes, exceeds MaxFrame %d", len(frame), MaxFrame)
 	}
 }
