@@ -192,6 +192,15 @@ func (p *Pool) Free(off, size int64) {
 	p.alloc.give(off, size)
 }
 
+// FreeBytes reports the bytes the allocator could still hand out: the
+// untouched arena past the bump pointer plus every free-listed block. It is
+// an upper bound — free-listed blocks only satisfy requests of their own
+// size class — so callers admitting work against it must keep their own
+// reserve (see the store's value-log admission).
+func (p *Pool) FreeBytes() int64 {
+	return p.alloc.freeBytes(p.Size())
+}
+
 // SetRoot stores a durable root pointer in the reserved pool header.
 // slot must be in [0, 8). The store is persisted immediately (flushed).
 func (p *Pool) SetRoot(t *Thread, slot int, off int64) {
@@ -291,6 +300,19 @@ func (a *allocator) give(off, size int64) {
 	a.mu.Lock()
 	a.free[size] = append(a.free[size], off)
 	a.mu.Unlock()
+}
+
+func (a *allocator) freeBytes(limit int64) int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := limit - a.next
+	if b < 0 {
+		b = 0
+	}
+	for size, lst := range a.free {
+		b += size * int64(len(lst))
+	}
+	return b
 }
 
 func (a *allocator) highWater() int64 {

@@ -432,6 +432,42 @@ func (l *Log) Append(th *pmem.Thread, key uint64, val []byte) (Ref, error) {
 	return MakeRef(off, len(val)), nil
 }
 
+// Admit reports whether the log can accept a record of valLen payload bytes
+// without eating the pool's GC headroom. A record that fits the current
+// extent is always admitted (the space is already carved out); one that
+// forces growth is admitted only if the pool can hold the new extent PLUS
+// one extra extent of reserve, so a GC pass can still stage relocations
+// after the append. On refusal it returns an ErrFull-wrapped error; reads,
+// deletes, and GC are unaffected, and the condition clears once GC returns
+// extents to the pool.
+//
+// Admission is advisory, not a reservation: a racing writer can consume the
+// headroom between Admit and Append, in which case Append itself fails with
+// ErrFull. The point of Admit is the asymmetry — it refuses while the pool
+// still has room for compaction to make progress, where waiting for
+// Append's own ErrFull would leave GC wedged too (nowhere to relocate).
+func (l *Log) Admit(valLen int) error {
+	if valLen > MaxValue {
+		return fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, valLen, MaxValue)
+	}
+	need := recHdrBytes + roundUp(int64(valLen), pmem.WordSize)
+	l.mu.Lock()
+	room := l.curEnd - l.tail
+	l.mu.Unlock()
+	if room >= need {
+		return nil
+	}
+	size := l.extSize
+	if min := need + extHdrBytes; size < min {
+		size = roundUp(min, pmem.LineSize)
+	}
+	if free := l.p.FreeBytes(); free < size+l.extSize {
+		return fmt.Errorf("%w: admission refused: %d bytes free, need %d plus %d GC reserve",
+			ErrFull, free, size, l.extSize)
+	}
+	return nil
+}
+
 // grow makes room for a record of `need` bytes: it advances into an
 // already-linked next extent (left over from a crashed growth) or allocates
 // and links a fresh one. The abandoned space in the old extent is

@@ -57,6 +57,12 @@ var (
 	// checksum: the key's reference was valid but the image is damaged.
 	// Unlike ErrNotVarlen this is data loss, not API misuse.
 	ErrValueCorrupt = errors.New("store: varlen value failed its checksum")
+	// ErrNoSpace reports a write refused because the shard's pool can no
+	// longer guarantee value-log space with GC headroom intact. The store
+	// degrades, it does not die: reads, deletes, and compaction keep
+	// working, and the condition clears once GC (triggered by deletes and
+	// overwrites, or an explicit CompactValues) frees extents.
+	ErrNoSpace = errors.New("store: value log out of space")
 )
 
 // wrapReadErr classifies a vlog read failure: checksum failures are
@@ -92,6 +98,13 @@ func (ss *Session) retireWord(i int, key uint64, old uint64) bool {
 // is still on its way into the tree, or the pass could judge that record
 // dead, free its extent, and let the install land on recycled memory (see
 // gc.go). The lock is shared — writers never wait on each other here.
+//
+// Space admission runs first, outside the lock: when the shard's pool can
+// no longer hold the append plus an extent of GC headroom, PutBytes tries
+// one inline compaction pass and, if that does not clear the shortfall,
+// fails fast with ErrNoSpace — before the log is grown into the last free
+// bytes GC would need to stage relocations. Reads, deletes, and GC are
+// unaffected, and the condition clears once compaction frees extents.
 func (ss *Session) PutBytes(key uint64, val []byte) error {
 	if len(val) > MaxValue {
 		return fmt.Errorf("%w: %d > %d bytes", ErrValueTooLarge, len(val), MaxValue)
@@ -104,11 +117,31 @@ func (ss *Session) PutBytes(key uint64, val []byte) error {
 	}
 	i := ss.s.ShardFor(key)
 	sh := &ss.s.shards[i]
+	if sh.vl.Admit(len(val)) != nil {
+		// Best-effort reclamation before refusing: a full pass (wait=true
+		// queues behind any running one, so its frees count too), then one
+		// re-check. The slow path is paid only by writers already out of
+		// space — and only when automatic compaction is enabled; with
+		// GCGarbageRatio < 0 the operator asked for manual-only GC, so
+		// admission refuses immediately and CompactValues is the way out.
+		if ss.s.opts.GCGarbageRatio >= 0 {
+			_, _ = ss.compactShard(i, 0, true)
+		}
+		if aerr := sh.vl.Admit(len(val)); aerr != nil {
+			ss.s.release()
+			return fmt.Errorf("%w: shard %d: %v", ErrNoSpace, i, aerr)
+		}
+	}
 	sh.gc.varMu.RLock()
 	ref, err := sh.vl.Append(ss.ths[i], key, val)
 	if err != nil {
 		sh.gc.varMu.RUnlock()
 		ss.s.release()
+		if errors.Is(err, vlog.ErrFull) {
+			// Admission raced another writer into the last extent; the
+			// hard failure is the same condition.
+			return fmt.Errorf("%w: shard %d: %v", ErrNoSpace, i, err)
+		}
 		return fmt.Errorf("store: shard %d value log: %w", i, err)
 	}
 	old, existed, err := index.Exchange(sh.ix, ss.ths[i], key, uint64(ref))
