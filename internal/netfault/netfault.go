@@ -1,0 +1,228 @@
+// Package netfault wraps net.Conn and net.Listener with deterministic,
+// seeded fault injection: added latency, partial reads and writes, stalls,
+// mid-stream connection resets, and byte corruption. It is the network-side
+// analogue of the pmem package's crash simulator — the same faults a
+// hostile or merely unlucky network delivers, on demand and reproducibly,
+// so the server and client torture suites can assert the system's failure
+// contract (no hangs, no lost acknowledged writes, corruption always caught
+// at frame decode) instead of hoping.
+//
+// Faults are drawn per I/O operation from a per-connection PRNG seeded from
+// Options.Seed (a wrapped listener derives each accepted connection's seed
+// from its accept index, so a run's schedule is stable across repeats as
+// long as accept order is). Goroutine interleaving still varies between
+// runs — determinism here means the fault schedule, not the global
+// execution order.
+package netfault
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options selects which faults a wrapped connection injects. The zero value
+// injects nothing and costs one bounds check per I/O call.
+type Options struct {
+	// Seed keys the fault schedule. Connections wrapped directly use it as
+	// is; a wrapped listener derives seed+i for the i-th accepted conn.
+	Seed int64
+
+	// ReadLatency / WriteLatency are added to every Read / Write call.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// StallEvery makes every Nth I/O operation (across reads and writes)
+	// sleep for StallFor before proceeding: a bursty, head-of-line stall
+	// rather than uniform latency. 0 disables.
+	StallEvery int
+	StallFor   time.Duration
+
+	// PartialProb is the probability (0..1) that a Read or Write transfers
+	// only a prefix this wakeup: reads return early with part of the
+	// requested bytes, writes split the buffer across several underlying
+	// syscalls. Both are legal per the io contracts — this shakes out
+	// callers that assume one frame arrives in one call.
+	PartialProb float64
+
+	// CorruptProb is the probability (0..1) that a Read's returned bytes
+	// have one byte XOR-flipped. Corruption is injected after the data
+	// leaves the peer, so the peer's view stays consistent — exactly like
+	// damage on the path.
+	CorruptProb float64
+
+	// ResetAfter closes the underlying connection abruptly after this many
+	// I/O operations, mid-frame if that is where the count lands. 0
+	// disables. Subsequent calls fail with the net package's closed-conn
+	// error.
+	ResetAfter int
+}
+
+// enabled reports whether any fault is configured.
+func (o *Options) enabled() bool {
+	return o.ReadLatency > 0 || o.WriteLatency > 0 ||
+		(o.StallEvery > 0 && o.StallFor > 0) ||
+		o.PartialProb > 0 || o.CorruptProb > 0 || o.ResetAfter > 0
+}
+
+// WrapConn wraps nc with fault injection per o. With a zero Options the
+// conn is returned unwrapped — the disabled path costs nothing.
+func WrapConn(nc net.Conn, o Options) net.Conn {
+	if !o.enabled() {
+		return nc
+	}
+	return &faultConn{Conn: nc, o: o, rng: rand.New(rand.NewSource(o.Seed))}
+}
+
+// WrapListener wraps ln so every accepted connection carries the faults in
+// o, each with its own schedule (seed o.Seed+i for the i-th accept).
+func WrapListener(ln net.Listener, o Options) net.Listener {
+	return &faultListener{Listener: ln, o: o}
+}
+
+type faultListener struct {
+	net.Listener
+	o        Options
+	accepted int64
+	mu       sync.Mutex
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	o := l.o
+	o.Seed += l.accepted
+	l.accepted++
+	l.mu.Unlock()
+	return WrapConn(nc, o), nil
+}
+
+// faultConn injects o's faults around an underlying conn. The PRNG and op
+// counter are mutex-guarded (draws only — never held across blocking I/O):
+// a net.Conn must tolerate concurrent Read/Write, and the transports here
+// run reader and writer goroutines against one conn.
+type faultConn struct {
+	net.Conn
+	o Options
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	ops int
+}
+
+// plan draws this operation's fault decisions under the lock.
+type ioPlan struct {
+	stall   bool
+	reset   bool
+	partial bool
+	corrupt bool
+}
+
+func (c *faultConn) plan(read bool) ioPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	var p ioPlan
+	if c.o.StallEvery > 0 && c.o.StallFor > 0 && c.ops%c.o.StallEvery == 0 {
+		p.stall = true
+	}
+	if c.o.ResetAfter > 0 && c.ops >= c.o.ResetAfter {
+		p.reset = true
+	}
+	if c.o.PartialProb > 0 && c.rng.Float64() < c.o.PartialProb {
+		p.partial = true
+	}
+	if read && c.o.CorruptProb > 0 && c.rng.Float64() < c.o.CorruptProb {
+		p.corrupt = true
+	}
+	return p
+}
+
+// corruptAt draws the flip position for a corrupted read.
+func (c *faultConn) corruptAt(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// maxFragment caps a partial transfer: fragments stay small (dribbling
+// TCP, not half-a-buffer chunks), so fault density per byte moved does not
+// depend on how large a buffer the caller happened to pass.
+const maxFragment = 4 << 10
+
+// cut draws a partial-transfer length in [1, min(n, maxFragment)].
+func (c *faultConn) cut(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > maxFragment {
+		n = maxFragment
+	}
+	if n <= 1 {
+		return n
+	}
+	return 1 + c.rng.Intn(n)
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	p := c.plan(true)
+	if p.stall {
+		time.Sleep(c.o.StallFor)
+	}
+	if c.o.ReadLatency > 0 {
+		time.Sleep(c.o.ReadLatency)
+	}
+	if p.reset {
+		c.Conn.Close()
+	}
+	if p.partial && len(b) > 1 {
+		b = b[:c.cut(len(b))]
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 && p.corrupt {
+		b[c.corruptAt(n)] ^= 0x55
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	p := c.plan(false)
+	if p.stall {
+		time.Sleep(c.o.StallFor)
+	}
+	if c.o.WriteLatency > 0 {
+		time.Sleep(c.o.WriteLatency)
+	}
+	if p.reset {
+		c.Conn.Close()
+	}
+	if !p.partial || len(b) <= 1 {
+		return c.Conn.Write(b)
+	}
+	// Partial write: split the buffer and push it through several
+	// underlying writes, re-drawing faults for each continuation — so a
+	// reset can land between fragments, tearing a frame mid-flight the
+	// way a dying route does. The caller still sees the io.Writer
+	// contract (n == len(b) unless an error is returned).
+	written := 0
+	for written < len(b) {
+		frag := b[written:]
+		if len(frag) > 1 {
+			frag = frag[:c.cut(len(frag))]
+		}
+		n, err := c.Conn.Write(frag)
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if written < len(b) {
+			if q := c.plan(false); q.reset {
+				c.Conn.Close()
+			}
+		}
+	}
+	return written, nil
+}

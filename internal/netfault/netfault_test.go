@@ -1,0 +1,207 @@
+package netfault
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipe returns both ends of a loopback TCP connection; loopback rather than
+// net.Pipe because net.Pipe has no kernel buffer and would deadlock the
+// single-goroutine transfer patterns below.
+func pipe(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if err != nil || cerr != nil {
+		t.Fatalf("pipe: accept=%v dial=%v", err, cerr)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestZeroOptionsUnwrapped(t *testing.T) {
+	c, _ := pipe(t)
+	if w := WrapConn(c, Options{Seed: 42}); w != c {
+		t.Fatal("zero fault options should return the conn unwrapped")
+	}
+}
+
+// TestPartialWritesDeliverEverything: a heavily fragmenting writer still
+// delivers every byte in order — the io.Writer contract holds through the
+// fault layer.
+func TestPartialWritesDeliverEverything(t *testing.T) {
+	c, s := pipe(t)
+	w := WrapConn(c, Options{Seed: 1, PartialProb: 1.0})
+	msg := make([]byte, 64<<10)
+	for i := range msg {
+		msg[i] = byte(i * 31)
+	}
+	got := make([]byte, 0, len(msg))
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 4096)
+		for len(got) < len(msg) {
+			n, err := s.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	n, err := w.Write(msg)
+	if err != nil || n != len(msg) {
+		t.Fatalf("Write = (%d, %v), want (%d, nil)", n, err, len(msg))
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("fragmented write delivered different bytes")
+	}
+}
+
+// TestPartialReadsReturnPrefixes: partial reads return short counts but
+// never wrong bytes, and the stream reassembles exactly.
+func TestPartialReadsReturnPrefixes(t *testing.T) {
+	c, s := pipe(t)
+	r := WrapConn(c, Options{Seed: 7, PartialProb: 1.0})
+	msg := make([]byte, 32<<10)
+	for i := range msg {
+		msg[i] = byte(i * 13)
+	}
+	go func() {
+		s.Write(msg)
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(r, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("partial reads reassembled different bytes")
+	}
+}
+
+// TestCorruptionFlipsBytes: with CorruptProb=1 every non-empty read differs
+// from what the peer sent, and with the same seed the damage is identical
+// across runs.
+func TestCorruptionFlipsBytes(t *testing.T) {
+	read := func(seed int64) []byte {
+		c, s := pipe(t)
+		r := WrapConn(c, Options{Seed: seed, CorruptProb: 1.0})
+		msg := []byte("the quick brown fox jumps over the lazy dog")
+		go s.Write(msg)
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(r, got); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, msg) {
+			t.Fatal("CorruptProb=1 read returned clean bytes")
+		}
+		return got
+	}
+	a, b := read(3), read(3)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+}
+
+// TestResetKillsConnection: after ResetAfter operations the connection is
+// dead and every later call errors — nothing hangs.
+func TestResetKillsConnection(t *testing.T) {
+	c, s := pipe(t)
+	w := WrapConn(c, Options{Seed: 9, ResetAfter: 3})
+	for i := 0; i < 2; i++ {
+		if _, err := w.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d before reset: %v", i, err)
+		}
+	}
+	if _, err := w.Write([]byte("boom")); err == nil {
+		t.Fatal("write at ResetAfter threshold succeeded")
+	}
+	if _, err := w.Write([]byte("after")); err == nil {
+		t.Fatal("write after reset succeeded")
+	}
+	// The peer sees EOF (or a reset), not a hang.
+	s.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		if _, err := s.Read(buf); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("peer read timed out instead of seeing the reset")
+			}
+			return
+		}
+	}
+}
+
+// TestStallDelays: every-op stalls inflate wall time measurably.
+func TestStallDelays(t *testing.T) {
+	c, s := pipe(t)
+	w := WrapConn(c, Options{Seed: 5, StallEvery: 1, StallFor: 20 * time.Millisecond})
+	go io.Copy(io.Discard, s)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := w.Write([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("5 stalled writes took only %v, want >= 100ms", elapsed)
+	}
+}
+
+// TestListenerDerivesSeeds: two conns accepted from one wrapped listener
+// corrupt differently (different derived seeds) but both are wrapped.
+func TestListenerDerivesSeeds(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := WrapListener(ln, Options{Seed: 11, CorruptProb: 1.0})
+	defer fl.Close()
+
+	msg := make([]byte, 256)
+	for i := range msg {
+		msg[i] = 0xAA
+	}
+	accept := func() []byte {
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		sc, err := fl.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		go nc.Write(msg)
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(sc, got); err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(got, msg) {
+			t.Fatal("accepted conn not corrupting")
+		}
+		return got
+	}
+	a, b := accept(), accept()
+	if bytes.Equal(a, b) {
+		t.Fatal("two accepted conns shared a fault schedule")
+	}
+}
