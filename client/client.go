@@ -56,6 +56,22 @@ type Options struct {
 	// writer's coalescing window: everything queued when the writer
 	// wakes goes out in one Write. Default 1024.
 	SendQueue int
+	// CallTimeout bounds each call from issue to response. When it
+	// expires the call fails with ErrCallTimeout but the connection stays
+	// up — the late response, if it ever arrives, is discarded. The
+	// outcome of a timed-out write is unknown (it may have been applied);
+	// only the caller can decide whether reissuing is safe. 0 disables.
+	CallTimeout time.Duration
+	// RetryReads opts a Pool into transparently retrying idempotent
+	// operations (Get, GetBytes, Scan, ScanBytes, Stats) whose failure is
+	// Retryable, with exponential backoff across (possibly redialed)
+	// connections. Writes are never auto-retried: a retried Put whose
+	// first attempt was applied but unacknowledged would double-apply.
+	RetryReads bool
+	// Dial, when non-nil, replaces net.DialTimeout for connection
+	// establishment — the hook fault-injection tests use to wrap the
+	// transport (see internal/netfault).
+	Dial func(addr string, timeout time.Duration) (net.Conn, error)
 }
 
 func (o *Options) fill() {
@@ -74,10 +90,12 @@ func (o *Options) fill() {
 // outcome: Err is nil on any well-formed server reply, including NotFound —
 // inspect Resp.Status for that.
 type Call struct {
-	Op   wire.Op
-	Resp wire.Response
-	Err  error
-	done chan struct{}
+	Op    wire.Op
+	Resp  wire.Response
+	Err   error
+	id    uint64
+	timer *time.Timer // CallTimeout timer; nil when timeouts are off
+	done  chan struct{}
 }
 
 // Done is closed when the call completes.
@@ -111,7 +129,13 @@ type Conn struct {
 // Dial connects to a pmkv server at addr ("host:port").
 func Dial(addr string, opts Options) (*Conn, error) {
 	opts.fill()
-	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	dial := opts.Dial
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	nc, err := dial(addr, opts.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -149,8 +173,16 @@ func (c *Conn) start(req wire.Request) *Call {
 	}
 	c.nextID++
 	req.ID = c.nextID
+	call.id = req.ID
 	c.pending[req.ID] = call
 	c.calls.Add(1)
+	if d := c.opts.CallTimeout; d > 0 {
+		// Armed before the call is visible to any completion path (all of
+		// them run under c.mu), so call.timer is immutable after this.
+		call.timer = time.AfterFunc(d, func() {
+			c.failCall(call.id, fmt.Errorf("%w: %s after %v", ErrCallTimeout, call.Op, d))
+		})
+	}
 	c.mu.Unlock()
 	select {
 	case c.sendCh <- req:
@@ -243,6 +275,13 @@ func (c *Conn) readLoop() {
 			call.Err = &RemoteError{Op: resp.Op, Msg: resp.Msg}
 		case wire.StatusClosed:
 			call.Err = fmt.Errorf("%w: %s", ErrStoreClosed, resp.Msg)
+		case wire.StatusBusy:
+			call.Err = fmt.Errorf("%w: %s", ErrBusy, resp.Msg)
+		case wire.StatusNoSpace:
+			call.Err = fmt.Errorf("%w: %s", ErrNoSpace, resp.Msg)
+		}
+		if call.timer != nil {
+			call.timer.Stop()
 		}
 		close(call.done)
 		c.calls.Done()
@@ -258,6 +297,9 @@ func (c *Conn) failCall(id uint64, err error) {
 	c.mu.Unlock()
 	if call == nil {
 		return
+	}
+	if call.timer != nil {
+		call.timer.Stop()
 	}
 	call.Err = err
 	close(call.done)
@@ -279,6 +321,9 @@ func (c *Conn) terminate(err error) {
 	c.mu.Unlock()
 	c.nc.Close()
 	for _, call := range pend {
+		if call.timer != nil {
+			call.timer.Stop()
+		}
 		call.Err = err
 		close(call.done)
 		c.calls.Done()

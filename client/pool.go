@@ -3,7 +3,9 @@ package client
 import (
 	"bufio"
 	"io"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/wire"
 )
@@ -19,10 +21,30 @@ func newBufReader(r io.Reader) *bufio.Reader { return bufio.NewReaderSize(r, ioB
 // With many goroutines sharing a Pool, each connection carries a slice of
 // the pipelined traffic, spreading both client and server per-connection
 // work across cores.
+//
+// The Pool also owns connection lifecycle: a terminally-failed conn is
+// skipped by Conn() immediately and replaced in the background by a redial
+// loop with exponential backoff + jitter, so a transient server outage
+// costs the affected calls, not the slot. With Options.RetryReads set,
+// idempotent operations additionally retry across (fresh) connections when
+// their failure is Retryable; writes never auto-retry.
 type Pool struct {
-	conns []*Conn
+	addr string
+	opts Options
+
+	conns []atomic.Pointer[Conn]
 	next  atomic.Uint64
+
+	stop     chan struct{}
+	redialed sync.WaitGroup
 }
+
+// redial pacing: first retry almost immediately (a restarting server is
+// usually back fast), then exponential out to a steady 2s probe.
+const (
+	redialBase = 50 * time.Millisecond
+	redialMax  = 2 * time.Second
+)
 
 // DialPool opens n connections to addr. On any dial failure the already-
 // opened connections are closed and the error returned.
@@ -30,74 +52,171 @@ func DialPool(addr string, n int, opts Options) (*Pool, error) {
 	if n < 1 {
 		n = 1
 	}
-	p := &Pool{conns: make([]*Conn, n)}
+	p := &Pool{
+		addr:  addr,
+		opts:  opts,
+		conns: make([]atomic.Pointer[Conn], n),
+		stop:  make(chan struct{}),
+	}
 	for i := range p.conns {
 		c, err := Dial(addr, opts)
 		if err != nil {
-			for _, open := range p.conns[:i] {
-				open.Close()
+			for j := 0; j < i; j++ {
+				p.conns[j].Load().Close()
 			}
 			return nil, err
 		}
-		p.conns[i] = c
+		p.conns[i].Store(c)
 	}
+	p.redialed.Add(1)
+	go p.redialLoop()
 	return p, nil
 }
 
 // Conn returns the next connection round-robin, skipping connections that
 // have terminally failed (Err != nil): a dead conn instantly fails every
 // call issued on it, so handing it out would turn one broken socket into a
-// permanent error stripe across the workload. If every connection is dead
-// the round-robin pick is returned anyway — its terminal error is the most
+// permanent error stripe across the workload. (The redial loop replaces
+// the dead conn in the background.) If every connection is dead the
+// round-robin pick is returned anyway — its terminal error is the most
 // useful thing the caller can see. Callers needing request ordering should
 // pin one Conn rather than going through the Pool.
 func (p *Pool) Conn() *Conn {
 	start := p.next.Add(1)
 	n := uint64(len(p.conns))
 	for i := uint64(0); i < n; i++ {
-		if c := p.conns[(start+i)%n]; c.Err() == nil {
+		if c := p.conns[(start+i)%n].Load(); c.Err() == nil {
 			return c
 		}
 	}
-	return p.conns[start%n]
+	return p.conns[start%n].Load()
+}
+
+// redialLoop watches for terminally-failed connections and replaces them.
+// The scan interval backs off exponentially (with jitter) while redials
+// keep failing — a down server gets a 2s probe, not a hammer — and snaps
+// back to the base interval the moment everything is healthy again.
+func (p *Pool) redialLoop() {
+	defer p.redialed.Done()
+	attempt := 0
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-time.After(backoff(attempt, redialBase, redialMax)):
+		}
+		allHealthy := true
+		for i := range p.conns {
+			old := p.conns[i].Load()
+			if old.Err() == nil {
+				continue
+			}
+			nc, err := Dial(p.addr, p.opts)
+			if err != nil {
+				allHealthy = false
+				continue
+			}
+			p.conns[i].Store(nc)
+			old.Close() // fast: its calls already failed with the terminal error
+		}
+		if allHealthy {
+			attempt = 0
+		} else if attempt < 10 {
+			attempt++
+		}
+	}
 }
 
 // Size returns the number of connections.
 func (p *Pool) Size() int { return len(p.conns) }
 
-// Close drains and closes every connection.
+// Close stops the redial loop, then drains and closes every connection.
 func (p *Pool) Close() error {
-	for _, c := range p.conns {
-		c.Close()
+	close(p.stop)
+	p.redialed.Wait()
+	for i := range p.conns {
+		p.conns[i].Load().Close()
 	}
 	return nil
 }
 
-// Get round-robins a Get.
-func (p *Pool) Get(key uint64) (uint64, bool, error) { return p.Conn().Get(key) }
+// readAttempts bounds one RetryReads operation: the initial try plus three
+// retries, ~35ms of backoff worst-case before the final attempt.
+const readAttempts = 4
 
-// Put round-robins a Put.
-func (p *Pool) Put(key, val uint64) error { return p.Conn().Put(key, val) }
-
-// Delete round-robins a Delete.
-func (p *Pool) Delete(key uint64) (bool, error) { return p.Conn().Delete(key) }
-
-// PutBatch round-robins a chunked PutBatch.
-func (p *Pool) PutBatch(pairs []KV) error { return p.Conn().PutBatch(pairs) }
-
-// Scan round-robins a Scan.
-func (p *Pool) Scan(lo, hi uint64, max int) ([]KV, error) { return p.Conn().Scan(lo, hi, max) }
-
-// GetBytes round-robins a varlen Get.
-func (p *Pool) GetBytes(key uint64) ([]byte, bool, error) { return p.Conn().GetBytes(key) }
-
-// PutBytes round-robins a varlen Put.
-func (p *Pool) PutBytes(key uint64, val []byte) error { return p.Conn().PutBytes(key, val) }
-
-// ScanBytes round-robins a varlen Scan.
-func (p *Pool) ScanBytes(lo, hi uint64, max int) ([]VKV, error) {
-	return p.Conn().ScanBytes(lo, hi, max)
+// retryRead runs op for idempotent calls, retrying per Options.RetryReads.
+func (p *Pool) retryRead(op func(c *Conn) error) error {
+	err := op(p.Conn())
+	if err == nil || !p.opts.RetryReads || !Retryable(err) {
+		return err
+	}
+	for a := 1; a < readAttempts; a++ {
+		time.Sleep(backoff(a-1, 2*time.Millisecond, 50*time.Millisecond))
+		if err = op(p.Conn()); err == nil || !Retryable(err) {
+			return err
+		}
+	}
+	return err
 }
 
-// Stats round-robins a Stats fetch.
-func (p *Pool) Stats() (wire.Stats, error) { return p.Conn().Stats() }
+// Get round-robins a Get (retried if Options.RetryReads).
+func (p *Pool) Get(key uint64) (v uint64, ok bool, err error) {
+	err = p.retryRead(func(c *Conn) error {
+		var e error
+		v, ok, e = c.Get(key)
+		return e
+	})
+	return v, ok, err
+}
+
+// Put round-robins a Put. Writes are never auto-retried.
+func (p *Pool) Put(key, val uint64) error { return p.Conn().Put(key, val) }
+
+// Delete round-robins a Delete. Writes are never auto-retried.
+func (p *Pool) Delete(key uint64) (bool, error) { return p.Conn().Delete(key) }
+
+// PutBatch round-robins a chunked PutBatch. Writes are never auto-retried.
+func (p *Pool) PutBatch(pairs []KV) error { return p.Conn().PutBatch(pairs) }
+
+// Scan round-robins a Scan (retried if Options.RetryReads).
+func (p *Pool) Scan(lo, hi uint64, max int) (kvs []KV, err error) {
+	err = p.retryRead(func(c *Conn) error {
+		var e error
+		kvs, e = c.Scan(lo, hi, max)
+		return e
+	})
+	return kvs, err
+}
+
+// GetBytes round-robins a varlen Get (retried if Options.RetryReads).
+func (p *Pool) GetBytes(key uint64) (val []byte, ok bool, err error) {
+	err = p.retryRead(func(c *Conn) error {
+		var e error
+		val, ok, e = c.GetBytes(key)
+		return e
+	})
+	return val, ok, err
+}
+
+// PutBytes round-robins a varlen Put. Writes are never auto-retried.
+func (p *Pool) PutBytes(key uint64, val []byte) error { return p.Conn().PutBytes(key, val) }
+
+// ScanBytes round-robins a varlen Scan (retried if Options.RetryReads).
+func (p *Pool) ScanBytes(lo, hi uint64, max int) (kvs []VKV, err error) {
+	err = p.retryRead(func(c *Conn) error {
+		var e error
+		kvs, e = c.ScanBytes(lo, hi, max)
+		return e
+	})
+	return kvs, err
+}
+
+// Stats round-robins a Stats fetch (retried if Options.RetryReads).
+func (p *Pool) Stats() (st wire.Stats, err error) {
+	err = p.retryRead(func(c *Conn) error {
+		var e error
+		st, e = c.Stats()
+		return e
+	})
+	return st, err
+}

@@ -50,6 +50,31 @@ func poolServer(t *testing.T) (addr string, accepted <-chan net.Conn, closeLn fu
 	return ln.Addr().String(), ch, func() { ln.Close() }
 }
 
+// killOneConn closes the server side of one pooled connection and waits
+// until the client notices, returning the dead *Conn. It snapshots the
+// pool's conns up front: the background redial loop may swap the dead one
+// out of its slot at any moment.
+func killOneConn(t *testing.T, p *Pool, victim net.Conn) *Conn {
+	t.Helper()
+	originals := make([]*Conn, p.Size())
+	for i := range p.conns {
+		originals[i] = p.conns[i].Load()
+	}
+	victim.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no conn observed the reset")
+		}
+		for _, c := range originals {
+			c.Put(1, 1) // drive traffic so the failure surfaces
+			if c.Err() != nil {
+				return c
+			}
+		}
+	}
+}
+
 // TestPoolSkipsDeadConn pins the eviction fix: after one of a pool's
 // connections fails terminally, Conn() must stop handing it out instead of
 // round-robining callers onto it forever.
@@ -65,28 +90,11 @@ func TestPoolSkipsDeadConn(t *testing.T) {
 
 	nc0 := <-accepted
 	<-accepted
-
-	// Kill the first server-side socket abruptly and wait for its client
-	// conn to notice (a call must fail to surface the terminal error).
-	nc0.Close()
-	deadline := time.Now().Add(5 * time.Second)
-	dead := -1
-	for dead < 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("no conn observed the reset")
-		}
-		for i, c := range p.conns {
-			c.Put(1, 1) // drive traffic so the failure surfaces
-			if c.Err() != nil {
-				dead = i
-				break
-			}
-		}
-	}
+	dead := killOneConn(t, p, nc0)
 
 	for i := 0; i < 20; i++ {
 		c := p.Conn()
-		if c == p.conns[dead] {
+		if c == dead {
 			t.Fatalf("Conn() returned the dead connection on pick %d", i)
 		}
 		if err := c.Put(uint64(i), uint64(i)); err != nil {
@@ -97,7 +105,8 @@ func TestPoolSkipsDeadConn(t *testing.T) {
 
 // TestPoolAllDeadFallsBack verifies the all-dead fallback still returns a
 // connection (whose calls surface the terminal error) rather than spinning
-// or panicking.
+// or panicking. The listener is closed too, so the background redial loop
+// cannot resurrect anything.
 func TestPoolAllDeadFallsBack(t *testing.T) {
 	addr, accepted, closeLn := poolServer(t)
 
@@ -115,7 +124,8 @@ func TestPoolAllDeadFallsBack(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		allDead := true
-		for _, c := range p.conns {
+		for i := range p.conns {
+			c := p.conns[i].Load()
 			c.Put(1, 1)
 			if c.Err() == nil {
 				allDead = false
@@ -133,5 +143,76 @@ func TestPoolAllDeadFallsBack(t *testing.T) {
 	}
 	if err := p.Put(1, 1); err == nil {
 		t.Fatal("Put on an all-dead pool unexpectedly succeeded")
+	}
+}
+
+// TestPoolRedialsDeadConn: the background loop replaces a terminally-failed
+// conn with a fresh dial, restoring the pool to full strength without any
+// caller intervention.
+func TestPoolRedialsDeadConn(t *testing.T) {
+	addr, accepted, closeLn := poolServer(t)
+	defer closeLn()
+
+	p, err := DialPool(addr, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc0 := <-accepted
+	<-accepted
+	dead := killOneConn(t, p, nc0)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		healthy := 0
+		for i := range p.conns {
+			c := p.conns[i].Load()
+			if c != dead && c.Err() == nil {
+				healthy++
+			}
+		}
+		if healthy == p.Size() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("redial loop never replaced the dead conn")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The replacement carries traffic.
+	select {
+	case <-accepted:
+	case <-time.After(time.Second):
+		t.Fatal("no redialed connection reached the server")
+	}
+	for i := 0; i < 10; i++ {
+		if err := p.Put(uint64(i), 1); err != nil {
+			t.Fatalf("Put on redialed pool: %v", err)
+		}
+	}
+}
+
+// TestRetryReadsSurviveConnDeath: with RetryReads set, a Get landing on a
+// freshly-killed conn retries onto a healthy one and the caller never sees
+// the transport error. (Writes get no such cover — Put may fail.)
+func TestRetryReadsSurviveConnDeath(t *testing.T) {
+	addr, accepted, closeLn := poolServer(t)
+	defer closeLn()
+
+	p, err := DialPool(addr, 2, Options{RetryReads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	nc0 := <-accepted
+	<-accepted
+	nc0.Close() // kill one conn; do NOT wait for the client to notice
+
+	for i := 0; i < 100; i++ {
+		if _, _, err := p.Get(uint64(i)); err != nil {
+			t.Fatalf("Get %d through RetryReads pool: %v", i, err)
+		}
 	}
 }
