@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -212,16 +214,24 @@ func (c *conn) readLoop() (issued int) {
 		batch = batch[:0]
 	}
 	for {
-		// First frame of the wakeup: a blocking read.
+		// First frame of the wakeup: a blocking read, bounded by the idle
+		// timeout when one is set. beginDrain may race this and must win:
+		// re-checking draining after arming the idle deadline guarantees
+		// the drain's immediate deadline is never overwritten for longer
+		// than one check.
+		if d := s.opts.IdleTimeout; d > 0 && !c.isDraining() {
+			c.nc.SetReadDeadline(time.Now().Add(d))
+			if c.isDraining() {
+				c.nc.SetReadDeadline(time.Now())
+			}
+		}
 		body, err := wire.ReadFrame(br, s.opts.MaxFrame, scratch)
 		if err != nil {
-			if !c.isDraining() && !errors.Is(err, net.ErrClosed) {
-				s.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
-			}
+			c.noteReadEnd(err)
 			return issued
 		}
 		for {
-			s.bytesIn.Add(uint64(4 + len(body)))
+			s.bytesIn.Add(uint64(wire.FrameHdrSize + len(body)))
 			req, derr := wire.DecodeRequest(body)
 			if derr != nil {
 				// Framing is lost; answer what decoded, then the error,
@@ -245,7 +255,15 @@ func (c *conn) readLoop() (issued int) {
 				dispatch()
 				<-c.credits
 			}
-			batch = append(batch, req)
+			// Global admission: past Options.MaxServerInflight the request
+			// is shed with StatusBusy instead of joining the batch. The
+			// credit just taken stays charged to the shed response, so the
+			// writer's accounting is identical either way.
+			if !s.tryAdmit() {
+				c.shed(&req, &issued)
+			} else {
+				batch = append(batch, req)
+			}
 			if len(batch) >= maxIngest || !wire.FrameBuffered(br, s.opts.MaxFrame) {
 				break
 			}
@@ -253,13 +271,51 @@ func (c *conn) readLoop() (issued int) {
 				// FrameBuffered said a whole frame (or an oversized
 				// length) was buffered, so this is a reject, not a
 				// blocked read; dispatch what we have and die.
-				s.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
+				c.noteReadEnd(err)
 				dispatch()
 				return issued
 			}
 		}
 		dispatch()
 	}
+}
+
+// noteReadEnd classifies why the reader stopped, for the failure counters:
+// a drain or a clean client EOF is nobody's fault, an idle-timeout expiry
+// counts in idleCloses, and anything else — resets, frames torn mid-read,
+// checksum failures — counts in resets.
+func (c *conn) noteReadEnd(err error) {
+	s := c.srv
+	switch {
+	case c.isDraining() || errors.Is(err, net.ErrClosed):
+		// Shutdown kicked the read; not a failure.
+	case errors.Is(err, io.EOF):
+		// Clean close: the client finished between frames.
+	case errors.Is(err, os.ErrDeadlineExceeded):
+		s.idleCloses.Add(1)
+		s.logf("server: %s: closing idle connection (no frame in %v)",
+			c.nc.RemoteAddr(), s.opts.IdleTimeout)
+	default:
+		s.resets.Add(1)
+		s.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
+	}
+}
+
+// shed answers one admitted-over-cap request with StatusBusy without
+// executing it. The caller already holds the request's credit; like
+// protoErr, the response flows through respCh so the writer's
+// issued/handled accounting stays exact.
+func (c *conn) shed(req *wire.Request, issued *int) {
+	s := c.srv
+	s.ops.Add(1)
+	s.shed.Add(1)
+	s.met.reqs[opSlot(req.Op)].Inc(c.home)
+	c.inflight.Add(1)
+	*issued++
+	c.respCh <- svResp{Response: wire.Response{
+		ID: req.ID, Op: req.Op, Status: wire.StatusBusy,
+		Msg: "server: overloaded, retry later",
+	}}
 }
 
 // protoErr queues the error response for an undecodable frame, charging it
@@ -270,6 +326,7 @@ func (c *conn) protoErr(body []byte, err error, issued *int) {
 	s.errs.Add(1)
 	s.met.reqs[0].Inc(c.home)
 	s.met.errs[0].Inc(c.home)
+	s.resets.Add(1) // the connection is cut right after this response
 	resp := wire.Response{Status: wire.StatusErr, Msg: err.Error()}
 	if len(body) >= 8 {
 		resp.ID = binary.BigEndian.Uint64(body)
@@ -433,10 +490,13 @@ func (c *conn) executeOne(ss *store.Session, req *wire.Request, t0 int64, wid in
 	s := c.srv
 	*ctr++
 	if *ctr&latencySampleMask != 0 && s.opts.SlowOpThreshold == 0 {
-		return c.serve(ss, req, wid)
+		out := c.serve(ss, req, wid)
+		s.releaseAdmit()
+		return out
 	}
 	start := s.mnow()
 	out := c.serve(ss, req, wid)
+	s.releaseAdmit()
 	now := s.mnow()
 	slot := opSlot(req.Op)
 	m := s.met
@@ -470,8 +530,11 @@ func (c *conn) serve(ss *store.Session, req *wire.Request, wid int) svResp {
 		s.errs.Add(1)
 		s.met.errs[slot].Inc(wid)
 		resp.Status = wire.StatusErr
-		if errors.Is(err, store.ErrClosed) {
+		switch {
+		case errors.Is(err, store.ErrClosed):
 			resp.Status = wire.StatusClosed
+		case errors.Is(err, store.ErrNoSpace):
+			resp.Status = wire.StatusNoSpace
 		}
 		resp.Msg = err.Error()
 		resp.VVal, resp.VPairs = nil, nil
@@ -606,6 +669,9 @@ func (c *conn) serve(ss *store.Session, req *wire.Request, wid int) svResp {
 			VlogLive:      uint64(vs.Live),
 			VlogGarbage:   uint64(vs.Garbage),
 			VlogReclaimed: uint64(vs.Reclaimed),
+			Shed:          st.Shed,
+			IdleCloses:    st.IdleCloses,
+			Resets:        st.Resets,
 			ReadP50:       sum[0],
 			ReadP99:       sum[1],
 			WriteP50:      sum[2],

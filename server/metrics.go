@@ -170,6 +170,12 @@ func (s *Server) registerMetrics(reg *metrics.Registry) {
 		"requests executed on a steered worker", s.steeredOps.Load)
 	reg.Counter("pmkv_server_flushes_total", "",
 		"response write syscalls", s.flushes.Load)
+	reg.Counter("pmkv_server_shed_requests_total", "",
+		"requests answered StatusBusy at the MaxServerInflight admission cap", s.shed.Load)
+	reg.Counter("pmkv_server_idle_closes_total", "",
+		"connections closed by Options.IdleTimeout", s.idleCloses.Load)
+	reg.Counter("pmkv_server_connection_resets_total", "",
+		"connections that died mid-stream (reset, torn or corrupt frame, protocol error)", s.resets.Load)
 	reg.Counter("pmkv_server_slow_requests_total", "",
 		"requests at or over Options.SlowOpThreshold (queue + execute)", m.slowOps.Load)
 }

@@ -35,6 +35,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/metrics"
@@ -95,6 +96,20 @@ type Options struct {
 	// reads per request), since the slow-op log must not sample.
 	// Default: disabled.
 	SlowOpThreshold time.Duration
+	// IdleTimeout closes a connection whose reader sees no frame for this
+	// long: an abandoned peer (half-open TCP, a crashed client whose FIN
+	// never arrived) otherwise pins a connection slot, its buffers, and
+	// its window forever. Closes are counted in Stats.IdleCloses. 0
+	// disables.
+	IdleTimeout time.Duration
+	// MaxServerInflight caps requests admitted for execution across ALL
+	// connections. Past it the server sheds: the request is answered
+	// immediately with wire.StatusBusy (counted in Stats.Shed) and never
+	// executes — bounding total queued work under a connection flood the
+	// per-connection MaxInflight window cannot see. Shedding is a retry
+	// invitation, not an error: nothing was applied, so clients may
+	// safely retry any shed request after backing off. 0 disables.
+	MaxServerInflight int
 }
 
 func (o *Options) fill() {
@@ -130,7 +145,11 @@ func (o *Options) fill() {
 // path behaved: ReadBatches is ingest batches dispatched (Ops/ReadBatches
 // is the mean ingest batch size), InlineOps and SteeredOps split requests
 // by execution site, and Flushes is response write syscalls
-// (Ops/Flushes is the mean coalescing factor).
+// (Ops/Flushes is the mean coalescing factor). The failure counters track
+// self-protection: Shed is requests answered StatusBusy at admission
+// (never executed), IdleCloses is connections cut by Options.IdleTimeout,
+// and Resets is connections that died mid-stream (reset, torn frame,
+// corrupt frame, protocol error) rather than closing cleanly.
 type Stats struct {
 	Ops         uint64
 	Errors      uint64
@@ -142,6 +161,9 @@ type Stats struct {
 	InlineOps   uint64
 	SteeredOps  uint64
 	Flushes     uint64
+	Shed        uint64
+	IdleCloses  uint64
+	Resets      uint64
 }
 
 // Server serves one store over any number of listeners.
@@ -163,6 +185,10 @@ type Server struct {
 	readBatches           atomic.Uint64
 	inlineOps, steeredOps atomic.Uint64
 	flushes               atomic.Uint64
+	shed                  atomic.Uint64
+	idleCloses            atomic.Uint64
+	resets                atomic.Uint64
+	admitted              atomic.Int64 // requests inside the MaxServerInflight window
 	nextHome              atomic.Uint64
 
 	mu        sync.Mutex
@@ -226,6 +252,34 @@ func (s *Server) Stats() Stats {
 		InlineOps:   s.inlineOps.Load(),
 		SteeredOps:  s.steeredOps.Load(),
 		Flushes:     s.flushes.Load(),
+		Shed:        s.shed.Load(),
+		IdleCloses:  s.idleCloses.Load(),
+		Resets:      s.resets.Load(),
+	}
+}
+
+// tryAdmit claims one slot of the global MaxServerInflight window (always
+// succeeding when the cap is off). The caller must releaseAdmit exactly
+// once after the request executes; shed requests never held a slot.
+func (s *Server) tryAdmit() bool {
+	limit := int64(s.opts.MaxServerInflight)
+	if limit <= 0 {
+		return true
+	}
+	for {
+		cur := s.admitted.Load()
+		if cur >= limit {
+			return false
+		}
+		if s.admitted.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+func (s *Server) releaseAdmit() {
+	if s.opts.MaxServerInflight > 0 {
+		s.admitted.Add(-1)
 	}
 }
 
@@ -268,9 +322,9 @@ func (s *Server) Serve(ln net.Listener) error {
 				return ErrServerClosed
 			}
 			// Transient accept failures (fd exhaustion under heavy
-			// client load) must not kill the accept loop: back off and
-			// retry, the way net/http does.
-			if ne, ok := err.(net.Error); ok && ne.Temporary() { //nolint:staticcheck // net/http's accept-retry idiom
+			// client load, handshakes aborted before accept) must not
+			// kill the accept loop: back off and retry.
+			if retryableAccept(err) {
 				if backoff == 0 {
 					backoff = 5 * time.Millisecond
 				} else if backoff *= 2; backoff > time.Second {
@@ -298,6 +352,24 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		go c.handle()
 	}
+}
+
+// retryableAccept reports whether an Accept error is transient — the
+// listener is fine and the next Accept can succeed — rather than fatal.
+// The explicit classification replaces the deprecated net.Error.Temporary
+// check: a closed listener is always fatal, and the retryable set is named
+// errnos (per-connection handshake aborts and resource exhaustion that
+// clears as load drains) instead of whatever Temporary happened to cover.
+func retryableAccept(err error) bool {
+	if errors.Is(err, net.ErrClosed) {
+		return false
+	}
+	return errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EMFILE) ||
+		errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.EINTR)
 }
 
 // Shutdown gracefully stops the server: it closes the listeners, stops
