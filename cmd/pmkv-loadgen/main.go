@@ -14,7 +14,8 @@
 //	pmkv-loadgen [-addr localhost:7841] [-ops 500000] [-duration 0]
 //	             [-clients 32] [-conns 4] [-pipeline 1] [-read 0.5]
 //	             [-mix get=90,put=10] [-keys 1000000] [-preload 0]
-//	             [-scanmax 100] [-valsize 0] [-memprofile heap.pprof]
+//	             [-scanmax 100] [-valsize 0] [-call-timeout 0]
+//	             [-memprofile heap.pprof]
 //
 // -clients 1 -conns 1 -pipeline 1 is the unpipelined baseline (one request
 // per round trip); raising -pipeline shows what the async window buys on a
@@ -33,11 +34,20 @@
 // reported throughput includes the value payload bytes. N must stay under
 // wire.MaxValue. -valsize 0 (default) drives the fixed-width u64 ops.
 //
+// -call-timeout puts a deadline on every request (client.Options
+// CallTimeout), so a stalled or overloaded server fails calls instead of
+// parking the generator. Failures are reported by class — busy (server
+// shed the request past its -admit cap), nospace (store refused a varlen
+// write), other — which makes the generator usable as an overload probe:
+// run it against a small -admit server and the busy count is the shed
+// traffic, with no other error class present.
+//
 // -memprofile writes a heap profile when the run finishes — the easy check
 // that read-heavy serving stays allocation-quiet end to end.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -134,10 +144,11 @@ func main() {
 	preload := flag.Int("preload", 0, "keys to PutBatch before timing (0 = keyspace/4)")
 	scanMax := flag.Int("scanmax", 100, "pairs per scan request in -mix scan ops")
 	valSize := flag.Int("valsize", 0, "value bytes per op: 0 = fixed-width u64 ops, >0 = varlen ops (PutV/GetV/ScanV)")
+	callTimeout := flag.Duration("call-timeout", 0, "per-request deadline; timed-out calls fail instead of blocking the run (0 = none)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	if *clients < 1 || *conns < 1 || *ops < 1 || *keys < 1 || *readFrac < 0 || *readFrac > 1 || *scanMax < 1 ||
-		*pipeline < 1 || *duration < 0 || *valSize < 0 || *valSize > wire.MaxValue {
+		*pipeline < 1 || *duration < 0 || *valSize < 0 || *valSize > wire.MaxValue || *callTimeout < 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -150,7 +161,7 @@ func main() {
 		}
 	}
 
-	pool, err := client.DialPool(*addr, *conns, client.Options{})
+	pool, err := client.DialPool(*addr, *conns, client.Options{CallTimeout: *callTimeout})
 	if err != nil {
 		log.Fatalf("dial %s: %v", *addr, err)
 	}
@@ -214,7 +225,11 @@ func main() {
 	for g := range hists {
 		hists[g] = metrics.NewHistogram()
 	}
-	var failed, scanned atomic.Uint64
+	// Failures are counted by class so an overload or space-exhaustion run
+	// reports what actually happened, not just a number: busy = shed by the
+	// server's admission cap, nospace = varlen write refused by the store's
+	// space admission, other = transport faults, timeouts, remote errors.
+	var busyErrs, nospaceErrs, otherErrs, scanned atomic.Uint64
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for g := 0; g < *clients; g++ {
@@ -231,7 +246,14 @@ func main() {
 			h := hists[g]
 			complete := func(p pending) {
 				if err := p.call.Wait(); err != nil {
-					failed.Add(1)
+					switch {
+					case errors.Is(err, client.ErrBusy):
+						busyErrs.Add(1)
+					case errors.Is(err, client.ErrNoSpace):
+						nospaceErrs.Add(1)
+					default:
+						otherErrs.Add(1)
+					}
 					return
 				}
 				switch p.call.Op {
@@ -286,15 +308,21 @@ func main() {
 		snap.Merge(h.Snapshot())
 	}
 	done := snap.Count()
+	failed := busyErrs.Load() + nospaceErrs.Load() + otherErrs.Load()
 	if done == 0 {
-		log.Fatalf("no operation succeeded (%d failed)", failed.Load())
+		log.Fatalf("no operation succeeded (%d failed: %d busy, %d nospace, %d other)",
+			failed, busyErrs.Load(), nospaceErrs.Load(), otherErrs.Load())
 	}
 	pct := func(p float64) time.Duration {
 		return time.Duration(snap.Quantile(p))
 	}
 	tput := float64(done) / elapsed.Seconds()
 	fmt.Printf("%d ops in %v: %.0f ops/s (%d failed)\n",
-		done, elapsed.Round(time.Millisecond), tput, failed.Load())
+		done, elapsed.Round(time.Millisecond), tput, failed)
+	if failed > 0 {
+		fmt.Printf("failures: %d busy (shed), %d nospace, %d other\n",
+			busyErrs.Load(), nospaceErrs.Load(), otherErrs.Load())
+	}
 	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  p99.9 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(0.999).Round(time.Microsecond),

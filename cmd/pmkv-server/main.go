@@ -76,6 +76,8 @@ func main() {
 	flushBytes := flag.Int("flush-bytes", 0, "response bytes that force a flush (0 = default 64 KiB)")
 	flushPending := flag.Int("flush-pending", 0, "coalesced responses that force a flush (0 = default 64)")
 	flushDelay := flag.Duration("flush-delay", 0, "max time a response waits for coalescing (0 = default 200us)")
+	admit := flag.Int("admit", 0, "global in-flight admission cap; past it requests are shed with StatusBusy (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	quiet := flag.Bool("quiet", false, "suppress per-connection diagnostics")
 	statsInterval := flag.Duration("stats-interval", 0, "log a throughput/latency line this often (0 = off)")
@@ -117,12 +119,14 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := server.Options{
-		Workers:      *workers,
-		MaxInflight:  *inflight,
-		InlineBatch:  *inlineBatch,
-		FlushBytes:   *flushBytes,
-		FlushPending: *flushPending,
-		FlushDelay:   *flushDelay,
+		Workers:           *workers,
+		MaxInflight:       *inflight,
+		InlineBatch:       *inlineBatch,
+		FlushBytes:        *flushBytes,
+		FlushPending:      *flushPending,
+		FlushDelay:        *flushDelay,
+		MaxServerInflight: *admit,
+		IdleTimeout:       *idleTimeout,
 	}
 	opts.SlowOpThreshold = *slowOp
 	if !*quiet {
