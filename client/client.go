@@ -63,9 +63,9 @@ type Options struct {
 	// only the caller can decide whether reissuing is safe. 0 disables.
 	CallTimeout time.Duration
 	// RetryReads opts a Pool into transparently retrying idempotent
-	// operations (Get, GetBytes, Scan, ScanBytes, Stats) whose failure is
-	// Retryable, with exponential backoff across (possibly redialed)
-	// connections. Writes are never auto-retried: a retried Put whose
+	// operations (Get, GetBytes, GetKV, Scan, ScanBytes, ScanKV, Stats)
+	// whose failure is Retryable, with exponential backoff across
+	// (possibly redialed) connections. Writes are never auto-retried: a retried Put whose
 	// first attempt was applied but unacknowledged would double-apply.
 	RetryReads bool
 	// Dial, when non-nil, replaces net.DialTimeout for connection

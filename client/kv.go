@@ -1,0 +1,147 @@
+package client
+
+import (
+	"context"
+
+	"repro/wire"
+)
+
+// KKV is one byte-string key / byte-string value pair, aliased from the
+// wire layer.
+type KKV = wire.KKV
+
+// GetKVAsync issues a pipelined GetK (byte-string-keyed Get). key is
+// captured by reference; the caller must not mutate it until the call
+// completes.
+func (c *Conn) GetKVAsync(key []byte) *Call {
+	return c.start(wire.Request{Op: wire.OpGetK, KKey: key})
+}
+
+// GetKV returns the value stored under the byte-string key on the server.
+// Keys are 1..wire.MaxKey bytes. The returned slice is owned by the
+// caller. Reading a prefix written through the uint64-keyed APIs fails
+// with a *RemoteError.
+func (c *Conn) GetKV(key []byte) ([]byte, bool, error) {
+	call := c.GetKVAsync(key)
+	if err := call.Wait(); err != nil {
+		return nil, false, err
+	}
+	return call.Resp.VVal, call.Resp.Status == wire.StatusOK, nil
+}
+
+// PutKVAsync issues a pipelined PutK (byte-string-keyed Put). key must be
+// 1..wire.MaxKey bytes and val at most wire.MaxKValue; both are captured
+// by reference, so the caller must not mutate them until the call
+// completes.
+func (c *Conn) PutKVAsync(key, val []byte) *Call {
+	return c.start(wire.Request{Op: wire.OpPutK, KKey: key, VVal: val})
+}
+
+// PutKV stores val under the byte-string key on the server. When it
+// returns nil the write is durable in the store's persistence model.
+func (c *Conn) PutKV(key, val []byte) error {
+	return c.PutKVAsync(key, val).Wait()
+}
+
+// DeleteKVAsync issues a pipelined DeleteK. key is captured by reference;
+// the caller must not mutate it until the call completes.
+func (c *Conn) DeleteKVAsync(key []byte) *Call {
+	return c.start(wire.Request{Op: wire.OpDeleteK, KKey: key})
+}
+
+// DeleteKV removes the byte-string key on the server, reporting whether it
+// was present.
+func (c *Conn) DeleteKV(key []byte) (bool, error) {
+	call := c.DeleteKVAsync(key)
+	if err := call.Wait(); err != nil {
+		return false, err
+	}
+	return call.Resp.Status == wire.StatusOK, nil
+}
+
+// ScanKVAsync issues a pipelined ScanK for lo <= key <= hi in bytewise
+// order, returning at most max pairs (0 = the server's cap). A zero-length
+// bound is unbounded on that side; bounds may be up to wire.MaxScanBound
+// bytes so a pagination cursor lastKey+"\x00" always fits. Bounds are
+// captured by reference until the call completes.
+func (c *Conn) ScanKVAsync(lo, hi []byte, max int) *Call {
+	m := uint32(0)
+	if max > 0 && max <= wire.MaxPairs {
+		m = uint32(max)
+	}
+	return c.start(wire.Request{Op: wire.OpScanK, KLo: lo, KHi: hi, Max: m})
+}
+
+// ScanKV returns byte-keyed pairs with lo <= key <= hi in ascending
+// bytewise key order. Pages are bounded twice over — by max (or the
+// server's pair cap) and by the response frame budget — so a result set at
+// either bound may be a truncation; page with lo = lastKey+"\x00" (the
+// immediate successor) to continue. The pairs' key and value slices share
+// one allocation owned by the caller.
+func (c *Conn) ScanKV(lo, hi []byte, max int) ([]KKV, error) {
+	call := c.ScanKVAsync(lo, hi, max)
+	if err := call.Wait(); err != nil {
+		return nil, err
+	}
+	return call.Resp.KPairs, nil
+}
+
+// GetKVContext is GetKV bounded by ctx.
+func (c *Conn) GetKVContext(ctx context.Context, key []byte) ([]byte, bool, error) {
+	call := c.GetKVAsync(key)
+	if err := c.wait(ctx, call); err != nil {
+		return nil, false, err
+	}
+	return call.Resp.VVal, call.Resp.Status == wire.StatusOK, nil
+}
+
+// PutKVContext is PutKV bounded by ctx. A ctx cut leaves the write's
+// outcome unknown: the request may still reach the server and be applied.
+func (c *Conn) PutKVContext(ctx context.Context, key, val []byte) error {
+	return c.wait(ctx, c.PutKVAsync(key, val))
+}
+
+// DeleteKVContext is DeleteKV bounded by ctx (same unknown-outcome caveat
+// as PutKVContext).
+func (c *Conn) DeleteKVContext(ctx context.Context, key []byte) (bool, error) {
+	call := c.DeleteKVAsync(key)
+	if err := c.wait(ctx, call); err != nil {
+		return false, err
+	}
+	return call.Resp.Status == wire.StatusOK, nil
+}
+
+// ScanKVContext is ScanKV bounded by ctx.
+func (c *Conn) ScanKVContext(ctx context.Context, lo, hi []byte, max int) ([]KKV, error) {
+	call := c.ScanKVAsync(lo, hi, max)
+	if err := c.wait(ctx, call); err != nil {
+		return nil, err
+	}
+	return call.Resp.KPairs, nil
+}
+
+// GetKV round-robins a byte-keyed Get (retried if Options.RetryReads).
+func (p *Pool) GetKV(key []byte) (val []byte, ok bool, err error) {
+	err = p.retryRead(func(c *Conn) error {
+		var e error
+		val, ok, e = c.GetKV(key)
+		return e
+	})
+	return val, ok, err
+}
+
+// PutKV round-robins a byte-keyed Put. Writes are never auto-retried.
+func (p *Pool) PutKV(key, val []byte) error { return p.Conn().PutKV(key, val) }
+
+// DeleteKV round-robins a byte-keyed Delete. Writes are never auto-retried.
+func (p *Pool) DeleteKV(key []byte) (bool, error) { return p.Conn().DeleteKV(key) }
+
+// ScanKV round-robins a byte-keyed Scan (retried if Options.RetryReads).
+func (p *Pool) ScanKV(lo, hi []byte, max int) (kvs []KKV, err error) {
+	err = p.retryRead(func(c *Conn) error {
+		var e error
+		kvs, e = c.ScanKV(lo, hi, max)
+		return e
+	})
+	return kvs, err
+}

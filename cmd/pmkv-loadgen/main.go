@@ -34,6 +34,14 @@
 // reported throughput includes the value payload bytes. N must stay under
 // wire.MaxValue. -valsize 0 (default) drives the fixed-width u64 ops.
 //
+// -keysize N switches the workload to the byte-string-keyed ops
+// (PutK/GetK/DeleteK/ScanK): each key is N bytes (up to wire.MaxKey) with
+// the key index packed into its leading bytes, so keys are distinct and
+// bytewise order matches index order. Values carry -valsize bytes (minimum
+// 8 when -valsize is 0). -keydist picks the key index distribution:
+// uniform (default) or zipf (skewed toward low indices, exercising
+// per-prefix bucket contention).
+//
 // -call-timeout puts a deadline on every request (client.Options
 // CallTimeout), so a stalled or overloaded server fails calls instead of
 // parking the generator. Failures are reported by class — busy (server
@@ -47,6 +55,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"errors"
 	"flag"
 	"fmt"
@@ -131,6 +140,26 @@ type pending struct {
 	start time.Time
 }
 
+// makeKey builds the size-byte key for index idx: the index occupies the
+// leading bytes big-endian (so bytewise key order matches index order and
+// keys are distinct), the tail is deterministic padding. Each call
+// allocates: async byte-key calls capture the key by reference, so
+// in-flight windows must not share a buffer.
+func makeKey(size int, idx uint64) []byte {
+	var b8 [8]byte
+	binary.BigEndian.PutUint64(b8[:], idx)
+	key := make([]byte, 0, size)
+	if size <= 8 {
+		key = append(key, b8[8-size:]...)
+	} else {
+		key = append(key, b8[:]...)
+		for len(key) < size {
+			key = append(key, byte(idx)^byte(len(key)))
+		}
+	}
+	return key
+}
+
 func main() {
 	addr := flag.String("addr", "localhost:7841", "server address")
 	ops := flag.Int("ops", 500000, "total operations (ignored when -duration is set)")
@@ -144,13 +173,23 @@ func main() {
 	preload := flag.Int("preload", 0, "keys to PutBatch before timing (0 = keyspace/4)")
 	scanMax := flag.Int("scanmax", 100, "pairs per scan request in -mix scan ops")
 	valSize := flag.Int("valsize", 0, "value bytes per op: 0 = fixed-width u64 ops, >0 = varlen ops (PutV/GetV/ScanV)")
+	keySize := flag.Int("keysize", 0, "key bytes per op: 0 = u64 keys, >0 = byte-string ops (PutK/GetK/DeleteK/ScanK)")
+	keyDist := flag.String("keydist", "uniform", "key index distribution: uniform or zipf")
 	callTimeout := flag.Duration("call-timeout", 0, "per-request deadline; timed-out calls fail instead of blocking the run (0 = none)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 	if *clients < 1 || *conns < 1 || *ops < 1 || *keys < 1 || *readFrac < 0 || *readFrac > 1 || *scanMax < 1 ||
-		*pipeline < 1 || *duration < 0 || *valSize < 0 || *valSize > wire.MaxValue || *callTimeout < 0 {
+		*pipeline < 1 || *duration < 0 || *valSize < 0 || *valSize > wire.MaxValue || *callTimeout < 0 ||
+		*keySize < 0 || *keySize > wire.MaxKey || (*keyDist != "uniform" && *keyDist != "zipf") {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *keySize > 0 && *keySize < 8 {
+		// Short keys bound the distinct-key count; clamp the keyspace so
+		// the index always fits the key bytes.
+		if max := uint64(1) << (8 * uint(*keySize)); *keys > max {
+			*keys = max
+		}
 	}
 	mix := mixWeights{get: int(*readFrac * 1000), put: 1000 - int(*readFrac*1000)}
 	if *mixFlag != "" {
@@ -175,7 +214,32 @@ func main() {
 	if nPre > 0 {
 		rng := rand.New(rand.NewSource(1))
 		t0 := time.Now()
-		if *valSize > 0 {
+		if *keySize > 0 {
+			// Byte-string keys: pipeline individual PutK frames.
+			vs := *valSize
+			if vs == 0 {
+				vs = 8
+			}
+			val := make([]byte, vs)
+			rng.Read(val)
+			c := pool.Conn()
+			calls := make([]*client.Call, 0, 1024)
+			flush := func() {
+				for _, call := range calls {
+					if err := call.Wait(); err != nil {
+						log.Fatalf("preload: %v", err)
+					}
+				}
+				calls = calls[:0]
+			}
+			for i := 0; i < nPre; i++ {
+				calls = append(calls, c.PutKVAsync(makeKey(*keySize, rng.Uint64()%*keys), val))
+				if len(calls) == cap(calls) {
+					flush()
+				}
+			}
+			flush()
+		} else if *valSize > 0 {
 			// No varlen batch op: pipeline individual PutV frames.
 			val := make([]byte, *valSize)
 			rng.Read(val)
@@ -239,9 +303,17 @@ func main() {
 			rng := rand.New(rand.NewSource(int64(g) + 100))
 			c := pool.Conn() // pin a connection; many goroutines share each
 			var val []byte
-			if *valSize > 0 {
-				val = make([]byte, *valSize)
+			if vs := *valSize; vs > 0 || *keySize > 0 {
+				if vs == 0 {
+					vs = 8
+				}
+				val = make([]byte, vs)
 				rng.Read(val)
+			}
+			nextIdx := func() uint64 { return rng.Uint64() % *keys }
+			if *keyDist == "zipf" {
+				z := rand.NewZipf(rng, 1.1, 8, *keys-1)
+				nextIdx = z.Uint64
 			}
 			h := hists[g]
 			complete := func(p pending) {
@@ -261,12 +333,15 @@ func main() {
 					scanned.Add(uint64(len(p.call.Resp.Pairs)))
 				case wire.OpScanV:
 					scanned.Add(uint64(len(p.call.Resp.VPairs)))
+				case wire.OpScanK:
+					scanned.Add(uint64(len(p.call.Resp.KPairs)))
 				}
 				h.RecordSince(p.start)
 			}
 			window := make([]pending, 0, *pipeline)
 			for i := 0; *duration > 0 || i < perG; i++ {
-				k := rng.Uint64()%*keys + 1
+				idx := nextIdx()
+				k := idx%*keys + 1
 				op := mix.pick(rng.Intn(total))
 				start := time.Now()
 				if *duration > 0 && !start.Before(deadline) {
@@ -274,6 +349,14 @@ func main() {
 				}
 				var call *client.Call
 				switch {
+				case *keySize > 0 && op == "get":
+					call = c.GetKVAsync(makeKey(*keySize, idx))
+				case *keySize > 0 && op == "put":
+					call = c.PutKVAsync(makeKey(*keySize, idx), val)
+				case *keySize > 0 && op == "delete":
+					call = c.DeleteKVAsync(makeKey(*keySize, idx))
+				case *keySize > 0 && op == "scan":
+					call = c.ScanKVAsync(makeKey(*keySize, idx), nil, *scanMax)
 				case op == "get" && *valSize > 0:
 					call = c.GetBytesAsync(k)
 				case op == "get":
@@ -335,11 +418,17 @@ func main() {
 		if *valSize > 0 {
 			fmt.Printf(", varlen %d B values", *valSize)
 		}
+		if *keySize > 0 {
+			fmt.Printf(", %d B byte keys (%s)", *keySize, *keyDist)
+		}
 		fmt.Println()
 	} else {
 		fmt.Printf("config: %d clients over %d conns, pipeline %d, %.0f%% reads, keyspace %d", *clients, *conns, *pipeline, *readFrac*100, *keys)
 		if *valSize > 0 {
 			fmt.Printf(", varlen %d B values", *valSize)
+		}
+		if *keySize > 0 {
+			fmt.Printf(", %d B byte keys (%s)", *keySize, *keyDist)
 		}
 		fmt.Println()
 	}

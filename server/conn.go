@@ -69,14 +69,17 @@ type conn struct {
 	varBufs  chan *varlenBuf
 }
 
-// varlenBuf is the pooled backing store of one varlen response: GetV
-// borrows the arena for its value bytes, ScanV additionally borrows the
-// pair slice (every Val a subslice of the arena) and the per-pair end
+// varlenBuf is the pooled backing store of one varlen response: GetV and
+// GetK borrow the arena for their value bytes, ScanV additionally borrows
+// the pair slice (every Val a subslice of the arena) and the per-pair end
 // offsets used to rebuild those subslices after the arena stops growing.
+// ScanK borrows kpairs the same way, with two ends per pair (key end,
+// value end) since both the key and the value live in the arena.
 type varlenBuf struct {
-	pairs []wire.VKV
-	arena []byte
-	ends  []int
+	pairs  []wire.VKV
+	kpairs []wire.KKV
+	arena  []byte
+	ends   []int
 }
 
 // svResp pairs a wire response with the pooled buffers it borrows, so the
@@ -114,6 +117,7 @@ func (c *conn) takeVarBuf() *varlenBuf {
 	select {
 	case vb := <-c.varBufs:
 		vb.pairs = vb.pairs[:0]
+		vb.kpairs = vb.kpairs[:0]
 		vb.arena = vb.arena[:0]
 		vb.ends = vb.ends[:0]
 		return vb
@@ -465,7 +469,7 @@ func (c *conn) recycleRespBufs(resp *svResp) {
 		default:
 		}
 		resp.vb = nil
-		resp.VVal, resp.VPairs = nil, nil
+		resp.VVal, resp.VPairs, resp.KPairs = nil, nil, nil
 	}
 }
 
@@ -537,7 +541,7 @@ func (c *conn) serve(ss *store.Session, req *wire.Request, wid int) svResp {
 			resp.Status = wire.StatusNoSpace
 		}
 		resp.Msg = err.Error()
-		resp.VVal, resp.VPairs = nil, nil
+		resp.VVal, resp.VPairs, resp.KPairs = nil, nil, nil
 		return out
 	}
 	switch req.Op {
@@ -655,6 +659,70 @@ func (c *conn) serve(ss *store.Session, req *wire.Request, wid int) svResp {
 			start = vb.ends[i]
 		}
 		resp.VPairs = vb.pairs
+	case wire.OpGetK:
+		vb := c.takeVarBuf()
+		out.vb = vb
+		val, ok, err := ss.GetKV(req.KKey, vb.arena[:0])
+		if err != nil {
+			return fail(err)
+		}
+		vb.arena = val
+		if !ok {
+			resp.Status = wire.StatusNotFound
+			return out
+		}
+		resp.VVal = val
+	case wire.OpPutK:
+		if err := ss.PutKV(req.KKey, req.VVal); err != nil {
+			return fail(err)
+		}
+	case wire.OpDeleteK:
+		ok, err := ss.DeleteKV(req.KKey)
+		if err != nil {
+			return fail(err)
+		}
+		if !ok {
+			resp.Status = wire.StatusNotFound
+		}
+	case wire.OpScanK:
+		max := s.opts.MaxScan
+		if req.Max != 0 && int(req.Max) < max {
+			max = int(req.Max)
+		}
+		vb := c.takeVarBuf()
+		out.vb = vb
+		// Same frame-cap discipline as ScanV, with a 6-byte per-pair
+		// header (klen u16 + vlen u32) and the key bytes charged along
+		// with the value. The first pair always fits: keys are capped at
+		// wire.MaxKey and stored values at wire.MaxKValue = MaxFrame-2048.
+		// Both key and value land in the arena; ends records two offsets
+		// per pair so the subslices can be rebuilt once it stops growing.
+		budget := int(wire.MaxFrame) - 64
+		err := ss.ScanKV(req.KLo, req.KHi, max, func(k, v []byte) bool {
+			used := len(vb.arena) + 6*len(vb.kpairs)
+			if len(vb.kpairs) > 0 && used+6+len(k)+len(v) > budget {
+				return false
+			}
+			vb.arena = append(vb.arena, k...)
+			vb.ends = append(vb.ends, len(vb.arena))
+			vb.arena = append(vb.arena, v...)
+			vb.ends = append(vb.ends, len(vb.arena))
+			vb.kpairs = append(vb.kpairs, wire.KKV{})
+			return len(vb.kpairs) < max && len(vb.arena)+6*len(vb.kpairs) < budget
+		})
+		if err != nil {
+			return fail(err)
+		}
+		start := 0
+		for i := range vb.kpairs {
+			ke, ve := vb.ends[2*i], vb.ends[2*i+1]
+			vb.kpairs[i].Key = vb.arena[start:ke:ke]
+			if ve > ke {
+				vb.kpairs[i].Val = vb.arena[ke:ve:ve]
+			}
+			start = ve
+		}
+		resp.KPairs = vb.kpairs
 	case wire.OpStats:
 		st := s.Stats()
 		vs := s.st.ValueStats()

@@ -10,13 +10,13 @@ import (
 )
 
 // Per-opcode metric slots: slot 0 collects anything outside the known
-// opcode range (unknown ops, undecodable frames), slots 1..9 mirror the
+// opcode range (unknown ops, undecodable frames), slots 1..13 mirror the
 // wire opcodes. Arrays indexed by slot keep the hot-path record a bounds-
 // checked array access, no map lookups.
-const numOps = 10
+const numOps = 14
 
 func opSlot(op wire.Op) int {
-	if op >= wire.OpGet && op <= wire.OpScanV {
+	if op >= wire.OpGet && op <= wire.OpScanK {
 		return int(op)
 	}
 	return 0
@@ -25,11 +25,13 @@ func opSlot(op wire.Op) int {
 var opNames = [numOps]string{
 	"other", "Get", "Put", "Delete", "PutBatch",
 	"Scan", "Stats", "GetV", "PutV", "ScanV",
+	"GetK", "PutK", "DeleteK", "ScanK",
 }
 
 // Op classes summarize latency for the wire Stats frame: read = Get/GetV/
-// Stats, write = Put/PutV/Delete/PutBatch, scan = Scan/ScanV. Slot 0
-// (unknown) counts as read — it never carries store work.
+// GetK/Stats, write = Put/PutV/PutK/Delete/DeleteK/PutBatch, scan =
+// Scan/ScanV/ScanK. Slot 0 (unknown) counts as read — it never carries
+// store work.
 const (
 	classRead = iota
 	classWrite
@@ -50,6 +52,10 @@ var opClasses = [numOps]int{
 	classRead,  // GetV
 	classWrite, // PutV
 	classScan,  // ScanV
+	classRead,  // GetK
+	classWrite, // PutK
+	classWrite, // DeleteK
+	classScan,  // ScanK
 }
 
 // serverMetrics is the server's always-on instrumentation: per-opcode
@@ -217,6 +223,11 @@ func (s *Server) noteSlow(req *wire.Request, slot int, queueNS, execNS, now int6
 	extra := ""
 	if suppressed > 0 {
 		extra = fmt.Sprintf(" (+%d suppressed)", suppressed)
+	}
+	if len(req.KKey) > 0 {
+		s.logf("server: slow op %s key=%q queue=%v execute=%v%s",
+			opNames[slot], req.KKey, time.Duration(queueNS), time.Duration(execNS), extra)
+		return
 	}
 	s.logf("server: slow op %s key=%d queue=%v execute=%v%s",
 		opNames[slot], req.Key, time.Duration(queueNS), time.Duration(execNS), extra)

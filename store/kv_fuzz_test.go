@@ -1,0 +1,156 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// Fuzz targets for the byte-key primitives: the prefix packer's ordering
+// contract and the bucket codec's fail-closed parse / round-trip identity.
+// Both run in CI's fuzz smoke alongside the wire decoder fuzzers.
+
+func FuzzPackPrefix(f *testing.F) {
+	f.Add([]byte("a\x00b"), []byte("ab"))
+	f.Add([]byte{}, []byte{0x00})
+	f.Add([]byte("sameprefix-1"), []byte("sameprefix-2"))
+	f.Add(bytes.Repeat([]byte{0xff}, 16), bytes.Repeat([]byte{0xff}, 8))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		pa, pb := PackPrefix(a), PackPrefix(b)
+		// Independent reimplementation: first 8 bytes, big-endian,
+		// zero-padded on the right.
+		var w [8]byte
+		copy(w[:], a)
+		if want := binary.BigEndian.Uint64(w[:]); pa != want {
+			t.Fatalf("PackPrefix(%x) = %#x, want %#x", a, pa, want)
+		}
+		// Monotone: key order implies (non-strict) prefix order, so the
+		// tree's prefix ordering can never contradict bytewise key order.
+		switch cmp := bytes.Compare(a, b); {
+		case cmp < 0 && pa > pb:
+			t.Fatalf("keys %x < %x but prefixes %#x > %#x", a, b, pa, pb)
+		case cmp > 0 && pa < pb:
+			t.Fatalf("keys %x > %x but prefixes %#x < %#x", a, b, pa, pb)
+		case cmp == 0 && pa != pb:
+			t.Fatalf("equal keys %x with prefixes %#x != %#x", a, pa, pb)
+		}
+	})
+}
+
+// FuzzKVBucketCodec feeds arbitrary bytes to parseBucket (must fail
+// closed, never panic, and anything it accepts must re-encode to the
+// identical payload), then derives a set of prefix-sharing keys from the
+// same input and drives bucketUpsert/bucketGet/bucketRemove against a
+// map model.
+func FuzzKVBucketCodec(f *testing.F) {
+	// A valid two-entry bucket as a seed: keys share the prefix "seedpfx-".
+	valid := appendKVEntry(nil, []byte("seedpfx-a"), []byte("v1"))
+	valid = appendKVEntry(valid, []byte("seedpfx-b"), nil)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 'x'})
+	f.Add(bytes.Repeat([]byte{0xff}, 40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Part 1: arbitrary payload, every plausible owner prefix. Accepted
+		// parses must be exact round-trips; rejected ones must visit nothing
+		// beyond the valid prefix of entries (parse is sequential, but the
+		// public readers treat any error as "not a bucket", so all that
+		// matters here is no panic and no acceptance of malformed bytes).
+		prefixes := []uint64{0, ^uint64(0)}
+		if len(data) >= kvEntryHdr+1 {
+			// The prefix a leading well-formed entry would claim, so valid
+			// mutations of real buckets parse and exercise the accept path.
+			kl := int(binary.LittleEndian.Uint16(data))
+			if kl >= 1 && kl <= MaxKey && kvEntryHdr+kl <= len(data) {
+				prefixes = append(prefixes, PackPrefix(data[kvEntryHdr:kvEntryHdr+kl]))
+			}
+		}
+		for _, prefix := range prefixes {
+			var reenc []byte
+			var prev []byte
+			err := parseBucket(prefix, data, func(k, v []byte) bool {
+				if len(k) < 1 || len(k) > MaxKey {
+					t.Fatalf("parse accepted key of %d bytes", len(k))
+				}
+				if PackPrefix(k) != prefix {
+					t.Fatalf("parse accepted key %x outside prefix %#x", k, prefix)
+				}
+				if prev != nil && bytes.Compare(prev, k) >= 0 {
+					t.Fatalf("parse accepted unsorted keys %x >= %x", prev, k)
+				}
+				prev = append(prev[:0], k...)
+				reenc = appendKVEntry(reenc, k, v)
+				return true
+			})
+			if err == nil && !bytes.Equal(reenc, data) {
+				t.Fatalf("accepted payload is not a round-trip: %x -> %x", data, reenc)
+			}
+		}
+
+		// Part 2: model-checked bucket operations over keys derived from
+		// the fuzz input, all sharing one 8-byte prefix.
+		const pfx = "fuzzpfx-"
+		prefix := PackPrefix([]byte(pfx))
+		model := map[string][]byte{}
+		var bucket []byte
+		for off := 0; off < len(data); {
+			n := 1 + int(data[off])%8
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			chunk := data[off : off+n]
+			off += n
+			key := pfx + string(chunk)
+			switch {
+			case len(model) > 0 && chunk[0]%3 == 0: // remove (maybe absent)
+				out, removed, err := bucketRemove(nil, bucket, prefix, []byte(key))
+				if err != nil {
+					t.Fatalf("bucketRemove(%q): %v", key, err)
+				}
+				_, inModel := model[key]
+				if removed != inModel {
+					t.Fatalf("bucketRemove(%q) = %v, model has it = %v", key, removed, inModel)
+				}
+				bucket = out
+				delete(model, key)
+			default: // upsert
+				val := append([]byte("val:"), chunk...)
+				out, replaced, err := bucketUpsert(nil, bucket, prefix, []byte(key), val)
+				if err != nil {
+					t.Fatalf("bucketUpsert(%q): %v", key, err)
+				}
+				_, inModel := model[key]
+				if replaced != inModel {
+					t.Fatalf("bucketUpsert(%q) replaced=%v, model has it = %v", key, replaced, inModel)
+				}
+				bucket = out
+				model[key] = val
+			}
+		}
+		// The final image must parse to exactly the model, in key order.
+		var wantKeys []string
+		for k := range model {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Strings(wantKeys)
+		i := 0
+		err := parseBucket(prefix, bucket, func(k, v []byte) bool {
+			if i >= len(wantKeys) || string(k) != wantKeys[i] || !bytes.Equal(v, model[wantKeys[i]]) {
+				t.Fatalf("final bucket entry %d = %q, want %q", i, k, wantKeys[i])
+			}
+			i++
+			return true
+		})
+		if err != nil || i != len(wantKeys) {
+			t.Fatalf("final bucket parse: err=%v, %d entries, want %d", err, i, len(wantKeys))
+		}
+		// And every model key must resolve through bucketGet.
+		for k, v := range model {
+			got, found, err := bucketGet(bucket, prefix, []byte(k), nil)
+			if err != nil || !found || !bytes.Equal(got, v) {
+				t.Fatalf("bucketGet(%q): found=%v err=%v", k, found, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package store
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property-based differential test for the byte-key API: a seeded op
+// generator drives PutKV/GetKV/DeleteKV/ScanKV/CompactValues/Reopen
+// against a model (map[string][]byte, scanned through a sorted key
+// slice), and every divergence is a bug in exactly one of the two.
+//
+// Failures shrink by seed replay: each sub-test is fully determined by
+// its seed, so a red run reproduces with
+//
+//	go test ./store -run TestKVProperty -kvprop.seed=<seed>
+//
+// which replays that seed alone with per-op logging. -kvprop.ops
+// overrides the op count (bisect the failing trace by shrinking it).
+var (
+	kvpropSeed = flag.Int64("kvprop.seed", -1, "replay one TestKVProperty seed with op logging")
+	kvpropOps  = flag.Int("kvprop.ops", 0, "override ops per TestKVProperty seed")
+)
+
+// kvKeyPool builds the adversarial key universe for one seed: families
+// sharing an 8-byte prefix (bucket collisions), empty-adjacent pairs (k
+// and k+"\x00"), 1-byte and binary keys, and keys up to MaxKey bytes.
+func kvKeyPool(rng *rand.Rand) [][]byte {
+	var pool [][]byte
+	add := func(k []byte) { pool = append(pool, k) }
+	// Three families of prefix-colliding keys.
+	for f := 0; f < 3; f++ {
+		prefix := fmt.Sprintf("fam%04d-", f) // 8 bytes
+		add([]byte(prefix))                  // the prefix itself as a key
+		for i := 0; i < 5; i++ {
+			add([]byte(prefix + string(rune('a'+i))))
+		}
+	}
+	// Empty-adjacent pairs.
+	add([]byte("edge"))
+	add([]byte("edge\x00"))
+	add([]byte("edge\x00\x00"))
+	// Single bytes, including the extremes.
+	add([]byte{0x00})
+	add([]byte{0xff})
+	add([]byte{byte(rng.Intn(256))})
+	// Binary keys with embedded zeros.
+	for i := 0; i < 4; i++ {
+		k := make([]byte, 9+rng.Intn(8))
+		rng.Read(k)
+		k[rng.Intn(len(k))] = 0x00
+		add(k)
+	}
+	// Long keys, one at the MaxKey cap, sharing a long common prefix so
+	// they collide into one bucket.
+	long := bytes.Repeat([]byte{'L'}, 200+rng.Intn(200))
+	add(append(append([]byte(nil), long...), '1'))
+	add(append(append([]byte(nil), long...), '2'))
+	add(bytes.Repeat([]byte{0xee}, MaxKey))
+	// Random short keys for spread.
+	for i := 0; i < 12; i++ {
+		k := make([]byte, 1+rng.Intn(24))
+		rng.Read(k)
+		add(k)
+	}
+	return pool
+}
+
+// kvModelScan computes the expected ScanKV page from the model: in-range
+// keys in bytewise order, truncated to max.
+func kvModelScan(model map[string][]byte, lo, hi []byte, max int) []string {
+	var keys []string
+	for k := range model {
+		if len(lo) > 0 && bytes.Compare([]byte(k), lo) < 0 {
+			continue
+		}
+		if len(hi) > 0 && bytes.Compare([]byte(k), hi) > 0 {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if max > 0 && len(keys) > max {
+		keys = keys[:max]
+	}
+	return keys
+}
+
+func TestKVProperty(t *testing.T) {
+	nops := 1500
+	if testing.Short() {
+		nops = 400
+	}
+	if *kvpropOps > 0 {
+		nops = *kvpropOps
+	}
+	if *kvpropSeed >= 0 {
+		runKVProperty(t, *kvpropSeed, nops, true)
+		return
+	}
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:4]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runKVProperty(t, seed, nops, false)
+		})
+	}
+}
+
+func runKVProperty(t *testing.T, seed int64, nops int, verbose bool) {
+	rng := rand.New(rand.NewSource(seed))
+	pool := kvKeyPool(rng)
+	opts := Options{Shards: 3, ShardSize: 8 << 20}
+	st, err := Open(opts)
+	if err != nil {
+		t.Fatalf("seed %d: Open: %v", seed, err)
+	}
+	ss := st.NewSession()
+	defer func() { ss.Close(); st.Close() }()
+
+	model := map[string][]byte{}
+	fatal := func(op int, format string, args ...any) {
+		t.Helper()
+		t.Fatalf("seed %d op %d: %s (replay: -kvprop.seed=%d -kvprop.ops=%d)",
+			seed, op, fmt.Sprintf(format, args...), seed, op+1)
+	}
+	logf := func(format string, args ...any) {
+		if verbose {
+			t.Logf(format, args...)
+		}
+	}
+	pick := func() []byte { return pool[rng.Intn(len(pool))] }
+	checkAll := func(op int, when string) {
+		t.Helper()
+		for k, v := range model {
+			got, ok, err := ss.GetKV([]byte(k), nil)
+			if err != nil || !ok || !bytes.Equal(got, v) {
+				fatal(op, "%s: model key %q: ok=%v err=%v got %d bytes want %d",
+					when, k, ok, err, len(got), len(v))
+			}
+		}
+	}
+
+	for i := 0; i < nops; i++ {
+		switch roll := rng.Intn(100); {
+		case roll < 40: // put (insert or overwrite)
+			k := pick()
+			v := make([]byte, rng.Intn(600))
+			rng.Read(v)
+			logf("op %d: put %q (%d bytes)", i, k, len(v))
+			if err := ss.PutKV(k, v); err != nil {
+				fatal(i, "PutKV(%q): %v", k, err)
+			}
+			model[string(k)] = v
+		case roll < 65: // get
+			k := pick()
+			if rng.Intn(8) == 0 { // occasional likely-miss shape (still model-checked)
+				if len(k)+3 <= MaxKey {
+					k = append(append([]byte(nil), k...), 0x01, 0x02, 0x03)
+				} else {
+					k = append([]byte(nil), k[:len(k)-1]...)
+				}
+			}
+			logf("op %d: get %q", i, k)
+			got, ok, err := ss.GetKV(k, nil)
+			if err != nil {
+				fatal(i, "GetKV(%q): %v", k, err)
+			}
+			want, inModel := model[string(k)]
+			if ok != inModel {
+				fatal(i, "GetKV(%q): ok=%v, model has it=%v", k, ok, inModel)
+			}
+			if ok && !bytes.Equal(got, want) {
+				fatal(i, "GetKV(%q): got %d bytes, want %d", k, len(got), len(want))
+			}
+		case roll < 75: // delete
+			k := pick()
+			logf("op %d: delete %q", i, k)
+			ok, err := ss.DeleteKV(k)
+			if err != nil {
+				fatal(i, "DeleteKV(%q): %v", k, err)
+			}
+			_, inModel := model[string(k)]
+			if ok != inModel {
+				fatal(i, "DeleteKV(%q): ok=%v, model has it=%v", k, ok, inModel)
+			}
+			delete(model, string(k))
+		case roll < 90: // scan
+			var lo, hi []byte
+			if rng.Intn(4) != 0 {
+				lo = pick()
+			}
+			if rng.Intn(4) != 0 {
+				hi = pick()
+			}
+			if len(lo) > 0 && len(hi) > 0 && bytes.Compare(lo, hi) > 0 {
+				lo, hi = hi, lo
+			}
+			max := 1 + rng.Intn(40)
+			logf("op %d: scan [%q, %q] max %d", i, lo, hi, max)
+			want := kvModelScan(model, lo, hi, max)
+			var got []string
+			var vals [][]byte
+			err := ss.ScanKV(lo, hi, max, func(k, v []byte) bool {
+				got = append(got, string(k))
+				vals = append(vals, append([]byte(nil), v...))
+				return true
+			})
+			if err != nil {
+				fatal(i, "ScanKV: %v", err)
+			}
+			if len(got) != len(want) {
+				fatal(i, "ScanKV [%q,%q] max %d: %d pairs, want %d\n got: %q\nwant: %q",
+					lo, hi, max, len(got), len(want), got, want)
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					fatal(i, "ScanKV pair %d: key %q, want %q", j, got[j], want[j])
+				}
+				if !bytes.Equal(vals[j], model[want[j]]) {
+					fatal(i, "ScanKV pair %d (%q): wrong value (%d bytes)", j, got[j], len(vals[j]))
+				}
+			}
+		case roll < 95: // compact
+			logf("op %d: compact", i)
+			if _, err := ss.CompactValues(); err != nil {
+				fatal(i, "CompactValues: %v", err)
+			}
+		default: // reopen
+			logf("op %d: reopen", i)
+			pools := st.Pools()
+			ss.Close()
+			if err := st.Close(); err != nil {
+				fatal(i, "Close: %v", err)
+			}
+			st, err = Reopen(pools, opts)
+			if err != nil {
+				fatal(i, "Reopen: %v", err)
+			}
+			ss = st.NewSession()
+			checkAll(i, "after reopen")
+		}
+	}
+	checkAll(nops, "final")
+	// Deleted and never-written keys must stay gone.
+	for _, k := range pool {
+		if _, inModel := model[string(k)]; inModel {
+			continue
+		}
+		if _, ok, err := ss.GetKV(k, nil); ok || err != nil {
+			t.Fatalf("seed %d: absent key %q: ok=%v err=%v", seed, k, ok, err)
+		}
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("seed %d: invariants: %v", seed, err)
+	}
+	n := 0
+	if err := ss.ScanKV(nil, nil, 0, func(k, v []byte) bool { n++; return true }); err != nil {
+		t.Fatalf("seed %d: full scan: %v", seed, err)
+	}
+	if n != len(model) {
+		t.Fatalf("seed %d: full scan saw %d keys, model has %d", seed, n, len(model))
+	}
+}

@@ -20,6 +20,7 @@ var opSampleMask uint32 = 7
 type storeMetrics struct {
 	get, put, del, putBatch, scan *metrics.Histogram
 	getBytes, putBytes, scanBytes *metrics.Histogram
+	getKV, putKV, delKV, scanKV   *metrics.Histogram
 
 	// gcPause is the duration of one GC pass (manual or automatic — the
 	// latency a triggering writer absorbs); gcRelocated the live records
@@ -38,6 +39,10 @@ func newStoreMetrics() *storeMetrics {
 		getBytes:    metrics.NewHistogram(),
 		putBytes:    metrics.NewHistogram(),
 		scanBytes:   metrics.NewHistogram(),
+		getKV:       metrics.NewHistogram(),
+		putKV:       metrics.NewHistogram(),
+		delKV:       metrics.NewHistogram(),
+		scanKV:      metrics.NewHistogram(),
 		gcPause:     metrics.NewHistogram(),
 		gcRelocated: metrics.NewHistogram(),
 	}
@@ -57,6 +62,8 @@ func (s *Store) RegisterMetrics(reg *metrics.Registry) {
 		{"PutBatch", m.putBatch}, {"Scan", m.scan},
 		{"GetBytes", m.getBytes}, {"PutBytes", m.putBytes},
 		{"ScanBytes", m.scanBytes},
+		{"GetKV", m.getKV}, {"PutKV", m.putKV},
+		{"DeleteKV", m.delKV}, {"ScanKV", m.scanKV},
 	}
 	for _, op := range ops {
 		reg.Histogram("pmkv_store_op_seconds", `op="`+op.name+`"`,

@@ -34,6 +34,15 @@ type Session struct {
 	// valBuf is the reusable value buffer behind ScanBytes callbacks.
 	valBuf []byte
 
+	// The byte-key API's reusable state (see kv.go): kvBuf holds the
+	// current bucket image being read, kvNew the rewritten image being
+	// built, kvRefs one page of collected (prefix, ref) pairs, kvRuns the
+	// per-shard entry runs ScanKV merges.
+	kvBuf  []byte
+	kvNew  []byte
+	kvRefs []KV
+	kvRuns []kvRun
+
 	// opTick drives latency sampling (see sampleOp). Plain field: a
 	// Session is single-goroutine by contract.
 	opTick uint32

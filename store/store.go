@@ -192,6 +192,14 @@ type shardGC struct {
 	// runMu serialises GC passes per shard; automatic triggers TryLock
 	// it so concurrent writers never queue behind one another's passes.
 	runMu sync.Mutex
+	// kvMu serialises byte-key writers (PutKV/DeleteKV) on this shard:
+	// a bucket update is a read-modify-write of one log record, and the
+	// tree's Exchange cannot express insert-if-absent, so two concurrent
+	// upserts into one bucket could otherwise both install and silently
+	// drop an entry. GC never takes it — relocation preserves bucket
+	// content, and the writers' ReplaceIf install detects and retries
+	// around a concurrent swap. Lock order: kvMu before varMu.
+	kvMu sync.Mutex
 }
 
 // Open creates a fresh store: opts.Shards pools, one index per pool, each

@@ -19,6 +19,10 @@ func TestAppendRequestAllocFree(t *testing.T) {
 		{ID: 7, Op: OpGetV, Key: 7},
 		{ID: 8, Op: OpPutV, Key: 7, VVal: []byte("varlen value bytes")},
 		{ID: 9, Op: OpScanV, Lo: 1, Hi: 100, Max: 10},
+		{ID: 10, Op: OpGetK, KKey: []byte("byte key")},
+		{ID: 11, Op: OpPutK, KKey: []byte("byte key"), VVal: []byte("value bytes")},
+		{ID: 12, Op: OpDeleteK, KKey: []byte("byte key")},
+		{ID: 13, Op: OpScanK, KLo: []byte("a"), KHi: []byte("z"), Max: 10},
 	}
 	buf := make([]byte, 0, 1024)
 	for i := range reqs {
@@ -45,6 +49,9 @@ func TestAppendResponseAllocFree(t *testing.T) {
 		{ID: 5, Op: OpStats, Status: StatusOK, Stats: Stats{Ops: 1}},
 		{ID: 6, Op: OpGetV, Status: StatusOK, VVal: []byte("varlen value bytes")},
 		{ID: 7, Op: OpScanV, Status: StatusOK, VPairs: []VKV{{Key: 1, Val: []byte("a")}, {Key: 2, Val: []byte("bb")}}},
+		{ID: 8, Op: OpGetK, Status: StatusOK, VVal: []byte("byte-keyed value")},
+		{ID: 9, Op: OpPutK, Status: StatusOK},
+		{ID: 10, Op: OpScanK, Status: StatusOK, KPairs: []KKV{{Key: []byte("k1"), Val: []byte("a")}, {Key: []byte("k2"), Val: []byte("bb")}}},
 	}
 	buf := make([]byte, 0, 1024)
 	for i := range resps {
@@ -159,5 +166,43 @@ func TestDecodeRoundTripAllocs(t *testing.T) {
 		}
 	}); allocs != 2 {
 		t.Errorf("DecodeResponse(ScanV) allocs/op = %v, want 2 (pairs slice + value arena)", allocs)
+	}
+
+	// Byte-key decodes allocate exactly their payload: GetK/DeleteK
+	// requests copy the key (one alloc), PutK slices key and value out of
+	// one arena (one), ScanK requests copy both bounds into one arena
+	// (one), GetK responses copy the value (one), and ScanK responses
+	// slice keys and values out of one shared arena (two).
+	for _, r := range []Request{
+		{ID: 10, Op: OpGetK, KKey: []byte("byte key")},
+		{ID: 11, Op: OpPutK, KKey: []byte("byte key"), VVal: []byte("value bytes")},
+		{ID: 12, Op: OpDeleteK, KKey: []byte("byte key")},
+		{ID: 13, Op: OpScanK, KLo: []byte("a"), KHi: []byte("z"), Max: 10},
+	} {
+		body := encodeReq(&r)
+		if allocs := testing.AllocsPerRun(100, func() {
+			if _, err := DecodeRequest(body); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 1 {
+			t.Errorf("DecodeRequest(%s) allocs/op = %v, want 1", r.Op, allocs)
+		}
+	}
+	getk := encodeResp(&Response{ID: 14, Op: OpGetK, Status: StatusOK, VVal: []byte("value bytes")})
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeResponse(getk); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 1 {
+		t.Errorf("DecodeResponse(GetK) allocs/op = %v, want 1 (the value copy)", allocs)
+	}
+	scank := encodeResp(&Response{ID: 15, Op: OpScanK, Status: StatusOK,
+		KPairs: []KKV{{Key: []byte("k1"), Val: []byte("aaa")}, {Key: []byte("k2"), Val: []byte("bbbb")}}})
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeResponse(scank); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 2 {
+		t.Errorf("DecodeResponse(ScanK) allocs/op = %v, want 2 (pairs slice + arena)", allocs)
 	}
 }

@@ -24,6 +24,19 @@ const MaxPairs = 32768
 // handed a value it cannot re-emit.
 const MaxValue = MaxFrame - 64
 
+// The byte-string key limits (protocol revision 3). MaxKey bounds a GetK/
+// PutK/DeleteK key; MaxScanBound allows one extra byte so a ScanK cursor can
+// name the immediate successor of a max-sized key (lo = lastKey + "\x00").
+// MaxKValue bounds a PutK request or GetK/ScanK response value: tighter than
+// MaxValue because a ScanK response entry carries its key and per-entry
+// header alongside the value inside one MaxFrame body. Encoders and decoders
+// enforce all three symmetrically.
+const (
+	MaxKey       = 1024
+	MaxScanBound = MaxKey + 1
+	MaxKValue    = MaxFrame - 2048
+)
+
 // Op identifies a request operation.
 type Op uint8
 
@@ -40,6 +53,12 @@ const (
 	OpGetV
 	OpPutV
 	OpScanV
+	// The byte-string key opcodes (protocol revision 3): keys are byte
+	// strings of 1..MaxKey bytes, length-prefixed before the value run.
+	OpGetK
+	OpPutK
+	OpDeleteK
+	OpScanK
 )
 
 func (op Op) String() string {
@@ -62,6 +81,14 @@ func (op Op) String() string {
 		return "PutV"
 	case OpScanV:
 		return "ScanV"
+	case OpGetK:
+		return "GetK"
+	case OpPutK:
+		return "PutK"
+	case OpDeleteK:
+		return "DeleteK"
+	case OpScanK:
+		return "ScanK"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(op))
 	}
@@ -122,6 +149,11 @@ type VKV struct {
 	Val []byte
 }
 
+// KKV is one byte-string key/value pair as carried by ScanK responses.
+type KKV struct {
+	Key, Val []byte
+}
+
 // Stats is the counter snapshot a StatusOK Stats response carries. The
 // Vlog* fields surface the store's value-log space accounting (varlen
 // values live behind a log the server compacts; see the store package).
@@ -161,9 +193,14 @@ type Request struct {
 	Key    uint64 // Get, Put, Delete, GetV, PutV
 	Val    uint64 // Put
 	Lo, Hi uint64 // Scan, ScanV
-	Max    uint32 // Scan/ScanV result cap; 0 = server default
+	Max    uint32 // Scan/ScanV/ScanK result cap; 0 = server default
 	Pairs  []KV   // PutBatch
-	VVal   []byte // PutV value (decoded into its own allocation)
+	VVal   []byte // PutV/PutK value (decoded into its own allocation)
+	KKey   []byte // GetK, PutK, DeleteK byte-string key (1..MaxKey bytes)
+	// ScanK bounds: nil or empty means unbounded on that side. Up to
+	// MaxScanBound bytes each, so a cursor can name a max-sized key's
+	// immediate successor.
+	KLo, KHi []byte
 }
 
 // Response is a decoded response frame. Fields beyond ID, Op and Status are
@@ -174,8 +211,9 @@ type Response struct {
 	Status Status
 	Val    uint64 // Get hit
 	Pairs  []KV   // Scan
-	VVal   []byte // GetV hit
+	VVal   []byte // GetV/GetK hit
 	VPairs []VKV  // ScanV (decoded Vals subslice one shared allocation)
+	KPairs []KKV  // ScanK (decoded keys and values subslice one shared allocation)
 	Stats  Stats  // Stats
 	Msg    string // StatusErr/StatusClosed/StatusBusy/StatusNoSpace detail
 }
@@ -294,6 +332,19 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 	if r.Op == OpPutV && len(r.VVal) > MaxValue {
 		return dst, fmt.Errorf("%w: PutV value %d > %d bytes", ErrFrameTooBig, len(r.VVal), MaxValue)
 	}
+	switch r.Op {
+	case OpGetK, OpPutK, OpDeleteK:
+		if len(r.KKey) < 1 || len(r.KKey) > MaxKey {
+			return dst, fmt.Errorf("%w: %s key %d bytes, want 1..%d", ErrMalformed, r.Op, len(r.KKey), MaxKey)
+		}
+		if r.Op == OpPutK && len(r.VVal) > MaxKValue {
+			return dst, fmt.Errorf("%w: PutK value %d > %d bytes", ErrFrameTooBig, len(r.VVal), MaxKValue)
+		}
+	case OpScanK:
+		if len(r.KLo) > MaxScanBound || len(r.KHi) > MaxScanBound {
+			return dst, fmt.Errorf("%w: ScanK bound exceeds %d bytes", ErrMalformed, MaxScanBound)
+		}
+	}
 	lenAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
 	dst = be.AppendUint64(dst, r.ID)
@@ -322,6 +373,20 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		// by the frame length, like an error message's.
 		dst = be.AppendUint64(dst, r.Key)
 		dst = append(dst, r.VVal...)
+	case OpGetK, OpDeleteK:
+		dst = be.AppendUint16(dst, uint16(len(r.KKey)))
+		dst = append(dst, r.KKey...)
+	case OpPutK:
+		// Length-prefixed key, then the value to the end of the frame.
+		dst = be.AppendUint16(dst, uint16(len(r.KKey)))
+		dst = append(dst, r.KKey...)
+		dst = append(dst, r.VVal...)
+	case OpScanK:
+		dst = be.AppendUint16(dst, uint16(len(r.KLo)))
+		dst = append(dst, r.KLo...)
+		dst = be.AppendUint16(dst, uint16(len(r.KHi)))
+		dst = append(dst, r.KHi...)
+		dst = be.AppendUint32(dst, r.Max)
 	default:
 		return dst[:lenAt], fmt.Errorf("wire: cannot encode unknown opcode %d", r.Op)
 	}
@@ -397,6 +462,66 @@ func DecodeRequest(body []byte) (Request, error) {
 		// Copied, not aliased: frame buffers are recycled by transports,
 		// but requests outlive the read loop's scratch.
 		r.VVal = append([]byte(nil), p[8:]...)
+	case OpGetK, OpDeleteK:
+		if len(p) < 2 {
+			return r, malformed("%s payload %d bytes, want >= 2", r.Op, len(p))
+		}
+		kl := int(be.Uint16(p))
+		if kl < 1 || kl > MaxKey {
+			return r, malformed("%s key %d bytes, want 1..%d", r.Op, kl, MaxKey)
+		}
+		if len(p)-2 != kl {
+			return r, malformed("%s key claims %d bytes, %d present", r.Op, kl, len(p)-2)
+		}
+		r.KKey = append([]byte(nil), p[2:]...)
+	case OpPutK:
+		if len(p) < 2 {
+			return r, malformed("PutK payload %d bytes, want >= 2", len(p))
+		}
+		kl := int(be.Uint16(p))
+		if kl < 1 || kl > MaxKey {
+			return r, malformed("PutK key %d bytes, want 1..%d", kl, MaxKey)
+		}
+		if len(p)-2 < kl {
+			return r, malformed("PutK key claims %d bytes, %d present", kl, len(p)-2)
+		}
+		if len(p)-2-kl > MaxKValue {
+			return r, malformed("PutK value %d bytes exceeds MaxKValue %d", len(p)-2-kl, MaxKValue)
+		}
+		// One arena for key and value; both outlive the frame scratch.
+		arena := append([]byte(nil), p[2:]...)
+		r.KKey = arena[:kl:kl]
+		if len(arena) > kl {
+			r.VVal = arena[kl:]
+		}
+	case OpScanK:
+		if len(p) < 2 {
+			return r, malformed("ScanK payload %d bytes, want >= 2", len(p))
+		}
+		lol := int(be.Uint16(p))
+		if lol > MaxScanBound || len(p)-2 < lol {
+			return r, malformed("ScanK lo bound %d bytes invalid (%d left)", lol, len(p)-2)
+		}
+		q := p[2+lol:]
+		if len(q) < 2 {
+			return r, malformed("ScanK hi bound truncated")
+		}
+		hil := int(be.Uint16(q))
+		if hil > MaxScanBound || len(q)-2 != hil+4 {
+			return r, malformed("ScanK hi bound %d bytes disagrees with %d payload bytes", hil, len(q)-2)
+		}
+		if lol+hil > 0 {
+			arena := make([]byte, 0, lol+hil)
+			arena = append(arena, p[2:2+lol]...)
+			arena = append(arena, q[2:2+hil]...)
+			if lol > 0 {
+				r.KLo = arena[:lol:lol]
+			}
+			if hil > 0 {
+				r.KHi = arena[lol:]
+			}
+		}
+		r.Max = be.Uint32(q[2+hil:])
 	default:
 		return r, malformed("unknown opcode %d", uint8(r.Op))
 	}
@@ -408,12 +533,16 @@ func DecodeRequest(body []byte) (Request, error) {
 // values above MaxValue fail at encode time; servers cap result sets below
 // both.
 func AppendResponse(dst []byte, r *Response) ([]byte, error) {
-	if (r.Op == OpScan || r.Op == OpScanV) && r.Status == StatusOK &&
-		max(len(r.Pairs), len(r.VPairs)) > MaxPairs {
-		return dst, fmt.Errorf("%w: %d > %d", ErrTooManyKV, max(len(r.Pairs), len(r.VPairs)), MaxPairs)
+	if (r.Op == OpScan || r.Op == OpScanV || r.Op == OpScanK) && r.Status == StatusOK &&
+		max(len(r.Pairs), max(len(r.VPairs), len(r.KPairs))) > MaxPairs {
+		return dst, fmt.Errorf("%w: %d > %d", ErrTooManyKV,
+			max(len(r.Pairs), max(len(r.VPairs), len(r.KPairs))), MaxPairs)
 	}
 	if r.Op == OpGetV && r.Status == StatusOK && len(r.VVal) > MaxValue {
 		return dst, fmt.Errorf("%w: GetV value %d > %d bytes", ErrFrameTooBig, len(r.VVal), MaxValue)
+	}
+	if r.Op == OpGetK && r.Status == StatusOK && len(r.VVal) > MaxKValue {
+		return dst, fmt.Errorf("%w: GetK value %d > %d bytes", ErrFrameTooBig, len(r.VVal), MaxKValue)
 	}
 	lenAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
@@ -459,7 +588,26 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				dst = be.AppendUint32(dst, uint32(len(r.VPairs[i].Val)))
 				dst = append(dst, r.VPairs[i].Val...)
 			}
-		case OpPut, OpDelete, OpPutBatch, OpPutV:
+		case OpGetK:
+			dst = append(dst, r.VVal...)
+		case OpScanK:
+			dst = be.AppendUint32(dst, uint32(len(r.KPairs)))
+			for i := range r.KPairs {
+				kl, vl := len(r.KPairs[i].Key), len(r.KPairs[i].Val)
+				if kl < 1 || kl > MaxKey {
+					return dst[:lenAt], fmt.Errorf("%w: ScanK key %d bytes, want 1..%d",
+						ErrMalformed, kl, MaxKey)
+				}
+				if vl > MaxKValue {
+					return dst[:lenAt], fmt.Errorf("%w: ScanK value %d > %d bytes",
+						ErrFrameTooBig, vl, MaxKValue)
+				}
+				dst = be.AppendUint16(dst, uint16(kl))
+				dst = be.AppendUint32(dst, uint32(vl))
+				dst = append(dst, r.KPairs[i].Key...)
+				dst = append(dst, r.KPairs[i].Val...)
+			}
+		case OpPut, OpDelete, OpPutBatch, OpPutV, OpPutK, OpDeleteK:
 		default:
 			return dst[:lenAt], fmt.Errorf("wire: cannot encode unknown opcode %d", r.Op)
 		}
@@ -544,9 +692,9 @@ func DecodeResponse(body []byte) (Response, error) {
 			return r, malformed("GetV value %d bytes exceeds MaxValue %d", len(p), MaxValue)
 		}
 		r.VVal = append([]byte(nil), p...)
-	case OpPutV:
+	case OpPutV, OpPutK, OpDeleteK:
 		if len(p) != 0 {
-			return r, malformed("PutV response payload %d bytes, want 0", len(p))
+			return r, malformed("%s response payload %d bytes, want 0", r.Op, len(p))
 		}
 	case OpScanV:
 		if len(p) < 4 {
@@ -589,6 +737,59 @@ func DecodeResponse(body []byte) (Response, error) {
 			p = p[12+vlen:]
 		}
 		r.VPairs = pairs
+	case OpGetK:
+		if len(p) > MaxKValue {
+			return r, malformed("GetK value %d bytes exceeds MaxKValue %d", len(p), MaxKValue)
+		}
+		r.VVal = append([]byte(nil), p...)
+	case OpScanK:
+		if len(p) < 4 {
+			return r, malformed("ScanK response payload %d bytes, want >= 4", len(p))
+		}
+		n := be.Uint32(p)
+		p = p[4:]
+		if n > MaxPairs {
+			return r, malformed("ScanK count %d exceeds MaxPairs %d", n, MaxPairs)
+		}
+		// Same two-pass discipline as ScanV: validate every entry against
+		// the bytes actually present, then slice one shared arena holding
+		// keys and values — two allocations for a count-n response.
+		total, q := 0, p
+		for i := uint32(0); i < n; i++ {
+			if len(q) < 6 {
+				return r, malformed("ScanK pair %d truncated", i)
+			}
+			kl := int(be.Uint16(q))
+			vl := int(be.Uint32(q[2:]))
+			if kl < 1 || kl > MaxKey {
+				return r, malformed("ScanK key %d bytes, want 1..%d", kl, MaxKey)
+			}
+			if vl > MaxKValue {
+				return r, malformed("ScanK value %d bytes exceeds MaxKValue %d", vl, MaxKValue)
+			}
+			if len(q)-6 < kl+vl {
+				return r, malformed("ScanK pair %d claims %d bytes, %d left", i, kl+vl, len(q)-6)
+			}
+			total += kl + vl
+			q = q[6+kl+vl:]
+		}
+		if len(q) != 0 {
+			return r, malformed("ScanK response has %d trailing bytes", len(q))
+		}
+		arena := make([]byte, 0, total)
+		pairs := make([]KKV, n)
+		for i := range pairs {
+			kl := int(be.Uint16(p))
+			vl := int(be.Uint32(p[2:]))
+			start := len(arena)
+			arena = append(arena, p[6:6+kl+vl]...)
+			pairs[i].Key = arena[start : start+kl : start+kl]
+			if vl > 0 {
+				pairs[i].Val = arena[start+kl : len(arena) : len(arena)]
+			}
+			p = p[6+kl+vl:]
+		}
+		r.KPairs = pairs
 	case OpStats:
 		if len(p) != statsWords*8 {
 			return r, malformed("Stats response payload %d bytes, want %d", len(p), statsWords*8)

@@ -23,6 +23,17 @@ func requestCases() []Request {
 		{ID: 9, Op: OpPutV, Key: 42, VVal: []byte("hello, varlen world")},
 		{ID: 10, Op: OpPutV, Key: 0},
 		{ID: 11, Op: OpScanV, Lo: 5, Hi: 500, Max: 32},
+		// Byte-key ops (revision 3); the keys deliberately share 8-byte
+		// prefixes, seeding the fuzz corpora with the collision shapes the
+		// store's bucket path must resolve.
+		{ID: 20, Op: OpGetK, KKey: []byte("collide-a")},
+		{ID: 21, Op: OpPutK, KKey: []byte("collide-b"), VVal: []byte("bucket value")},
+		{ID: 22, Op: OpPutK, KKey: []byte("collide-")},
+		{ID: 23, Op: OpDeleteK, KKey: bytes.Repeat([]byte{0xff}, MaxKey)},
+		{ID: 24, Op: OpDeleteK, KKey: []byte{0x00}},
+		{ID: 25, Op: OpScanK, KLo: []byte("collide-"), KHi: []byte("collide-\xff"), Max: 100},
+		{ID: 26, Op: OpScanK, Max: 0},
+		{ID: 27, Op: OpScanK, KLo: append(bytes.Repeat([]byte{0xff}, MaxKey), 0x00), Max: 1},
 	}
 }
 
@@ -56,7 +67,27 @@ func responseCases() []Response {
 		}},
 		{ID: 16, Op: OpScanV, Status: StatusOK, VPairs: []VKV{}},
 		{ID: 17, Op: OpGetV, Status: StatusErr, Msg: "store: key does not hold a varlen value"},
+		// Byte-key ops (revision 3), with prefix-colliding scan pairs.
+		{ID: 20, Op: OpGetK, Status: StatusOK, VVal: []byte("byte-keyed value")},
+		{ID: 21, Op: OpGetK, Status: StatusNotFound},
+		{ID: 22, Op: OpPutK, Status: StatusOK},
+		{ID: 23, Op: OpDeleteK, Status: StatusNotFound},
+		{ID: 24, Op: OpScanK, Status: StatusOK, KPairs: []KKV{
+			{Key: []byte("collide-"), Val: []byte("a")},
+			{Key: []byte("collide-1")},
+			{Key: bytes.Repeat([]byte{0xff}, MaxKey), Val: bytes.Repeat([]byte{0xab}, 300)},
+		}},
+		{ID: 25, Op: OpScanK, Status: StatusOK, KPairs: []KKV{}},
+		{ID: 26, Op: OpGetK, Status: StatusErr, Msg: "store: prefix does not hold a byte-key bucket"},
 	}
+}
+
+// normKPairs is normPairs for byte-key scan results.
+func normKPairs(p []KKV) []KKV {
+	if len(p) == 0 {
+		return nil
+	}
+	return p
 }
 
 // normPairs makes nil and empty pair slices compare equal: the decoder is
@@ -104,6 +135,7 @@ func TestResponseRoundTrip(t *testing.T) {
 			t.Fatalf("%v/%v: decode: %v", want.Op, want.Status, err)
 		}
 		got.Pairs, want.Pairs = normPairs(got.Pairs), normPairs(want.Pairs)
+		got.KPairs, want.KPairs = normKPairs(got.KPairs), normKPairs(want.KPairs)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("round trip: got %+v, want %+v", got, want)
 		}
@@ -210,6 +242,18 @@ func TestDecodeRequestRejectsGarbage(t *testing.T) {
 		{"getv trailing bytes", append(make([]byte, 8), byte(OpGetV), 0, 0, 0, 0, 0, 0, 0, 0, 99)},
 		{"putv short key", append(make([]byte, 8), byte(OpPutV), 1, 2, 3)},
 		{"scanv short payload", append(make([]byte, 8), byte(OpScanV), 1, 2, 3, 4)},
+		{"getk no length", append(make([]byte, 8), byte(OpGetK))},
+		{"getk zero-length key", append(make([]byte, 8), byte(OpGetK), 0, 0)},
+		{"getk key lies", append(make([]byte, 8), byte(OpGetK), 0, 5, 'a', 'b')},
+		{"getk trailing bytes", append(make([]byte, 8), byte(OpGetK), 0, 1, 'a', 'b')},
+		{"putk zero-length key", append(make([]byte, 8), byte(OpPutK), 0, 0, 'v')},
+		{"putk truncated key", append(make([]byte, 8), byte(OpPutK), 0, 9, 'a')},
+		{"deletek oversized klen", append(make([]byte, 8), byte(OpDeleteK), 0xff, 0xff)},
+		{"scank no bounds", append(make([]byte, 8), byte(OpScanK), 0)},
+		{"scank lo lies", append(make([]byte, 8), byte(OpScanK), 0, 9, 'a')},
+		{"scank missing hi", append(make([]byte, 8), byte(OpScanK), 0, 1, 'a')},
+		{"scank missing max", append(make([]byte, 8), byte(OpScanK), 0, 0, 0, 0)},
+		{"scank trailing bytes", append(make([]byte, 8), byte(OpScanK), 0, 0, 0, 0, 0, 0, 0, 1, 9)},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeRequest(tc.body); !errors.Is(err, ErrMalformed) {
@@ -295,6 +339,80 @@ func TestVarlenLimits(t *testing.T) {
 	}
 	if len(frame) > MaxFrame+FrameHdrSize {
 		t.Fatalf("max PutV frame is %d bytes, exceeds MaxFrame %d", len(frame), MaxFrame)
+	}
+}
+
+// TestByteKeyLimits pins the revision-3 size caps symmetrically on encode
+// and decode, like TestVarlenLimits does for revision 2: keys are 1..MaxKey
+// bytes, scan bounds at most MaxScanBound, values at most MaxKValue.
+func TestByteKeyLimits(t *testing.T) {
+	bigKey := make([]byte, MaxKey+1)
+	if _, err := AppendRequest(nil, &Request{Op: OpGetK, KKey: bigKey}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("encode oversized GetK key: %v, want ErrMalformed", err)
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpPutK}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("encode empty PutK key: %v, want ErrMalformed", err)
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpPutK, KKey: []byte("k"),
+		VVal: make([]byte, MaxKValue+1)}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("encode oversized PutK value: %v, want ErrFrameTooBig", err)
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpScanK,
+		KLo: make([]byte, MaxScanBound+1)}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("encode oversized ScanK bound: %v, want ErrMalformed", err)
+	}
+	if _, err := AppendResponse(nil, &Response{Op: OpGetK, Status: StatusOK,
+		VVal: make([]byte, MaxKValue+1)}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("encode oversized GetK value: %v, want ErrFrameTooBig", err)
+	}
+	if _, err := AppendResponse(nil, &Response{Op: OpScanK, Status: StatusOK,
+		KPairs: []KKV{{Key: nil, Val: []byte("v")}}}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("encode empty ScanK key: %v, want ErrMalformed", err)
+	}
+	if _, err := AppendResponse(nil, &Response{Op: OpScanK, Status: StatusOK,
+		KPairs: make([]KKV, MaxPairs+1)}); !errors.Is(err, ErrTooManyKV) {
+		t.Fatalf("encode over-long ScanK: %v, want ErrTooManyKV", err)
+	}
+
+	// Decoder side: the same violations from a hand-rolled peer.
+	overVal := append(make([]byte, 8), byte(OpPutK), 0, 1, 'k')
+	overVal = append(overVal, make([]byte, MaxKValue+1)...)
+	if _, err := DecodeRequest(overVal); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("decode oversized PutK value: %v, want ErrMalformed", err)
+	}
+	overResp := append(make([]byte, 8), byte(OpGetK), byte(StatusOK))
+	overResp = append(overResp, make([]byte, MaxKValue+1)...)
+	if _, err := DecodeResponse(overResp); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("decode oversized GetK value: %v, want ErrMalformed", err)
+	}
+	// ScanK with a lying entry length.
+	lie := append(make([]byte, 8), byte(OpScanK), byte(StatusOK))
+	lie = be.AppendUint32(lie, 1)
+	lie = be.AppendUint16(lie, 3)
+	lie = be.AppendUint32(lie, 100) // claims 3+100 bytes, provides 4
+	lie = append(lie, 'a', 'b', 'c', 'd')
+	if _, err := DecodeResponse(lie); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("decode lying ScanK: %v, want ErrMalformed", err)
+	}
+	// The largest legal PutK (max key + max value) still fits one frame.
+	frame, err := AppendRequest(nil, &Request{Op: OpPutK,
+		KKey: make([]byte, MaxKey), VVal: make([]byte, MaxKValue)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frame) > MaxFrame+FrameHdrSize {
+		t.Fatalf("max PutK frame is %d bytes, exceeds MaxFrame %d", len(frame), MaxFrame)
+	}
+	// So does the largest legal single-entry ScanK response — the bound
+	// MaxKValue exists exactly for this: one max key, max value, entry
+	// header, and response framing inside MaxFrame.
+	rframe, err := AppendResponse(nil, &Response{Op: OpScanK, Status: StatusOK,
+		KPairs: []KKV{{Key: make([]byte, MaxKey), Val: make([]byte, MaxKValue)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rframe) > MaxFrame+FrameHdrSize {
+		t.Fatalf("max ScanK entry frame is %d bytes, exceeds MaxFrame %d", len(rframe), MaxFrame)
 	}
 }
 
