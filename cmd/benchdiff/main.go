@@ -8,13 +8,15 @@
 //	benchdiff [-runs 3] [-threshold 25] [-n 50000] [-scaling-n 20000]
 //	          [snapshot.json ...]
 //
-// With no positional arguments it gates both committed snapshots:
-// BENCH_hotpath.json (the store and server hot-path rows) and
-// BENCH_server_scaling.json (the workers × conns × pipeline-depth sweep).
+// With no positional arguments it gates the committed snapshots:
+// BENCH_hotpath.json (the store and server hot-path rows),
+// BENCH_server_scaling.json (the workers × conns × pipeline-depth sweep),
+// and BENCH_tpcc.json (transactional TPC-C throughput per mix).
 // Each snapshot names the figures it holds through its table titles —
 // "Hot path ..." tables re-run FigHotpath at -n, "Server scaling ..."
-// tables re-run FigServerScaling at -scaling-n — so one binary gates every
-// tracked figure without per-figure flags.
+// tables re-run FigServerScaling at -scaling-n, "TPC-C ..." tables re-run
+// FigTPCC at -tpcc-tx — so one binary gates every tracked figure without
+// per-figure flags.
 //
 // Noise handling: each needed figure is re-run -runs times and every
 // cell's BEST throughput is compared, so a single descheduled run on a
@@ -47,6 +49,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/tpcc"
 )
 
 func main() {
@@ -54,10 +57,11 @@ func main() {
 	threshold := flag.Float64("threshold", 25, "maximum tolerated regression, percent of the committed ops/s")
 	n := flag.Int("n", 50000, "operations per hot-path benchmark cell")
 	scalingN := flag.Int("scaling-n", 20000, "operations per server-scaling benchmark cell")
+	tpccTx := flag.Int("tpcc-tx", 2000, "transactions per TPC-C mix cell")
 	flag.Parse()
 	files := flag.Args()
 	if len(files) == 0 {
-		files = []string{"BENCH_hotpath.json", "BENCH_server_scaling.json"}
+		files = []string{"BENCH_hotpath.json", "BENCH_server_scaling.json", "BENCH_tpcc.json"}
 	}
 
 	var committed []*bench.Table
@@ -81,7 +85,7 @@ func main() {
 	}
 
 	// The snapshots' table titles say which figures to re-run.
-	reruns := figuresFor(committed, *n, *scalingN)
+	reruns := figuresFor(committed, *n, *scalingN, *tpccTx)
 	if len(reruns) == 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: no known figure titles in %s\n", strings.Join(files, ", "))
 		os.Exit(1)
@@ -139,9 +143,10 @@ func main() {
 
 // figuresFor maps the committed tables' titles to the figure re-runs the
 // gate needs, deduplicated: any "Hot path ..." table re-runs FigHotpath,
-// any "Server scaling ..." table re-runs FigServerScaling. Unknown titles
-// are skipped (their cells report as no-longer-produced, never failing).
-func figuresFor(tables []*bench.Table, n, scalingN int) []func() *bench.Table {
+// any "Server scaling ..." table re-runs FigServerScaling, any "TPC-C ..."
+// table re-runs FigTPCC. Unknown titles are skipped (their cells report as
+// no-longer-produced, never failing).
+func figuresFor(tables []*bench.Table, n, scalingN, tpccTx int) []func() *bench.Table {
 	var out []func() *bench.Table
 	seen := map[string]bool{}
 	for _, t := range tables {
@@ -155,6 +160,11 @@ func figuresFor(tables []*bench.Table, n, scalingN int) []func() *bench.Table {
 			seen["scaling"] = true
 			out = append(out, func() *bench.Table {
 				return bench.FigServerScaling(bench.ScalingConfig{Ops: scalingN})
+			})
+		case strings.HasPrefix(t.Title, "TPC-C") && !seen["tpcc"]:
+			seen["tpcc"] = true
+			out = append(out, func() *bench.Table {
+				return tpcc.FigTPCC(tpccTx, 1)
 			})
 		}
 	}

@@ -5,7 +5,10 @@
 //	benchfig [-n keys] [-threads 1,2,4,8] [-tx 2000] [-warehouses 1]
 //	         [-json out.json] <figure>...
 //
-// Figures: fig3 fig4 fig5a fig5b fig5c fig5d fig6 fig7a fig7b fig7c flushes shards server server-scaling hotpath all
+// Figures: fig3 fig4 fig5a fig5b fig5c fig5d fig6 tpcc fig7a fig7b fig7c flushes shards server server-scaling hotpath all
+//
+// The tpcc figure runs the transactional TPC-C port over the sharded
+// store (FigTPCC); fig6 keeps the paper's index-level comparison.
 //
 // Default scales are reduced from the paper's 10M/50M keys so every figure
 // regenerates in seconds to minutes; raise -n (and -tx) to approach
@@ -52,11 +55,11 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: benchfig [flags] fig3|fig4|fig5a|fig5b|fig5c|fig5d|fig6|fig7a|fig7b|fig7c|flushes|shards|server|server-scaling|hotpath|all")
+		fmt.Fprintln(os.Stderr, "usage: benchfig [flags] fig3|fig4|fig5a|fig5b|fig5c|fig5d|fig6|tpcc|fig7a|fig7b|fig7c|flushes|shards|server|server-scaling|hotpath|all")
 		os.Exit(2)
 	}
 	if len(args) == 1 && args[0] == "all" {
-		args = []string{"fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "fig7a", "fig7b", "fig7c", "flushes", "shards", "server", "server-scaling", "hotpath"}
+		args = []string{"fig3", "fig4", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "tpcc", "fig7a", "fig7b", "fig7c", "flushes", "shards", "server", "server-scaling", "hotpath"}
 	}
 
 	var tables []*bench.Table
@@ -77,6 +80,8 @@ func main() {
 			tbl = bench.Fig5d(*n)
 		case "fig6":
 			tbl = tpcc.Fig6(*tx, *warehouses)
+		case "tpcc":
+			tbl = tpcc.FigTPCC(*tx, *warehouses)
 		case "fig7a":
 			tbl = bench.Fig7("search", *n, threads)
 		case "fig7b":

@@ -1,0 +1,133 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/store"
+)
+
+func newTestStoreBench(t *testing.T, warehouses int) *StoreBench {
+	t.Helper()
+	b, err := NewStoreBench(warehouses, store.Options{Shards: 4, ShardSize: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	return b
+}
+
+// TestStoreBenchMixes drives a short run of every mix through the
+// transactional store port and validates both the TPC-C consistency
+// conditions and the store's own invariants afterwards.
+func TestStoreBenchMixes(t *testing.T) {
+	b := newTestStoreBench(t, 1)
+	rng := rand.New(rand.NewSource(7))
+	n := 200
+	if testing.Short() {
+		n = 60
+	}
+	for _, mix := range Mixes {
+		if _, err := b.Run(mix, n, rng); err != nil {
+			t.Fatalf("%s: %v", mix.Name, err)
+		}
+		if err := b.CheckConsistency(); err != nil {
+			t.Fatalf("after %s: %v", mix.Name, err)
+		}
+	}
+	if err := b.Store().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreBenchLoadConsistent: the freshly loaded database already
+// satisfies the consistency conditions.
+func TestStoreBenchLoadConsistent(t *testing.T) {
+	b := newTestStoreBench(t, 2)
+	if err := b.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreBenchPaymentAtomicity: after payments, warehouse YTD ==
+// district YTD sum == history sum, which only holds if each payment's
+// three updates and history insert landed together.
+func TestStoreBenchPaymentAtomicity(t *testing.T) {
+	b := newTestStoreBench(t, 1)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 150; i++ {
+		if err := b.Payment(rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	wv, ok, err := b.ss.Get(tW(1))
+	if err != nil || !ok {
+		t.Fatalf("warehouse read: ok=%v err=%v", ok, err)
+	}
+	if wv == 0 {
+		t.Fatal("no payment volume recorded")
+	}
+}
+
+// TestStoreBenchNewOrderAdvances: NewOrder advances districts exactly as
+// many times as it ran, with order rows present to match.
+func TestStoreBenchNewOrderAdvances(t *testing.T) {
+	b := newTestStoreBench(t, 1)
+	rng := rand.New(rand.NewSource(5))
+	const runs = 80
+	for i := 0; i < runs; i++ {
+		if err := b.NewOrder(rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := uint64(0)
+	for d := 1; d <= Districts; d++ {
+		dv, ok, err := b.ss.Get(tWD(1, d))
+		if err != nil || !ok {
+			t.Fatalf("district %d: ok=%v err=%v", d, ok, err)
+		}
+		total += (dv >> 32) - 1 - initialOrder
+	}
+	if total != runs {
+		t.Fatalf("orders created = %d, want %d", total, runs)
+	}
+	if err := b.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreBenchDeliveryDrains: Delivery consumes undelivered orders and
+// credits the customers in one commit.
+func TestStoreBenchDeliveryDrains(t *testing.T) {
+	b := newTestStoreBench(t, 1)
+	rng := rand.New(rand.NewSource(3))
+	countNew := func() int {
+		n := 0
+		err := b.ss.Scan(tagNewOrder<<60, tagNewOrder<<60|(1<<60-1),
+			func(uint64, uint64) bool { n++; return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	before := countNew()
+	if before == 0 {
+		t.Fatal("no undelivered orders after load")
+	}
+	if err := b.Delivery(rng); err != nil {
+		t.Fatal(err)
+	}
+	after := countNew()
+	if after >= before {
+		t.Fatalf("Delivery did not drain: %d -> %d", before, after)
+	}
+	if before-after > Districts {
+		t.Fatalf("Delivery drained too much: %d", before-after)
+	}
+	if err := b.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

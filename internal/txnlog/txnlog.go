@@ -1,0 +1,368 @@
+// Package txnlog is a crash-consistent, bounded redo log for multi-key
+// transactions in simulated persistent memory. Each store shard owns one:
+// a transaction commit appends an intent record (the encoded write-set for
+// that shard), then a commit mark, applies the write-set to the shard's
+// tree, and truncates the log. Recovery scans every shard's log, replays
+// intents whose transaction has a durable commit mark anywhere, and
+// discards the rest.
+//
+// The log borrows the vlog's publish protocol — store record words, flush,
+// fence, advance a persisted tail word — but is deliberately simpler than
+// the value log: one fixed-capacity region instead of an extent chain, no
+// space accounting, no GC. The store serialises commits per shard, so at
+// most one transaction's records live in a log at a time and truncation
+// always empties it.
+//
+// # Persistence protocol
+//
+//  1. The payload words, the transaction ID, the record kind, and the
+//     header word (length+1 and a CRC-32C packed into 8 bytes) are stored
+//     and flushed.
+//  2. A store fence orders the record ahead of its publication (free on
+//     TSO, a dmb on NonTSO).
+//  3. The tail word in the log header line is advanced over the record
+//     with one atomic 8-byte store and flushed. The record is durable when
+//     Append returns.
+//
+// Truncate publishes tail = 0 the same way: one atomic store, flushed and
+// durable on return. A crash between a commit's apply phase and its
+// truncation leaves the committed records in the log; recovery replays
+// them, which is idempotent because intents carry final values.
+//
+// # Recovery
+//
+// Open bounds-checks the persisted tail (word alignment, capacity), then
+// validates every record below it — header length, CRC — and truncates at
+// the first invalid one. Under the publish protocol nothing below a
+// persisted tail can be torn, so validation failures indicate corruption;
+// they shrink the log rather than fail recovery, mirroring the vlog.
+package txnlog
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/pmem"
+)
+
+// Kind tags a record's role in the commit protocol.
+type Kind uint64
+
+const (
+	// KindIntent carries one shard's encoded write-set for a transaction.
+	KindIntent Kind = 1
+	// KindCommit is the commit mark: a durable mark anywhere makes the
+	// transaction committed on every shard.
+	KindCommit Kind = 2
+)
+
+// Errors returned by the log.
+var (
+	// ErrTooLarge reports an Append that does not fit the log's fixed
+	// capacity (even on an empty log).
+	ErrTooLarge = errors.New("txnlog: record exceeds log capacity")
+	// ErrFull reports an Append that does not fit the space remaining
+	// behind the tail.
+	ErrFull = errors.New("txnlog: log full")
+	// ErrCorrupt reports an unreadable log image.
+	ErrCorrupt = errors.New("txnlog: corrupt log")
+)
+
+// Log header layout: one cache line anchored at a pool root slot.
+//
+//	word 0: magic | version
+//	word 1: arena offset of the record region
+//	word 2: region capacity in bytes
+//	word 3: tail — byte offset of the next append within the region (the
+//	        commit point; 0 = empty log)
+//
+// Record layout: an 8-byte header, the 8-byte transaction ID, the 8-byte
+// kind word, then the payload padded to whole words.
+//
+//	header: (payload length + 1) in the low 32 bits, CRC-32C of the
+//	        ID bytes, kind byte, and payload in the high 32. The +1
+//	        keeps an empty record's header nonzero.
+const (
+	logMagic   = uint64(0x54584c47) // "TXLG"
+	logVersion = 1
+
+	hdrMagicWord  = 0
+	hdrRegionWord = 1
+	hdrCapWord    = 2
+	hdrTailWord   = 3
+	hdrBytes      = pmem.LineSize
+
+	// recHdrBytes is the fixed per-record overhead: header word +
+	// transaction-ID word + kind word.
+	recHdrBytes = 3 * pmem.WordSize
+
+	// DefaultCap is the region capacity used when Create gets zero.
+	DefaultCap = 1 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recordCRC hashes the transaction ID (little-endian), the kind byte, and
+// the payload. Folding the fixed fields in directly keeps the append path
+// allocation-free, like the vlog's recordCRC.
+func recordCRC(id uint64, kind Kind, payload []byte) uint32 {
+	crc := ^uint32(0)
+	for i := 0; i < 8; i++ {
+		crc = crcTable[byte(crc)^byte(id>>(8*i))] ^ crc>>8
+	}
+	crc = crcTable[byte(crc)^byte(kind)] ^ crc>>8
+	return crc32.Update(^crc, crcTable, payload)
+}
+
+// Log is a handle on one transaction log. Appends and truncations
+// serialise on an internal mutex; the store additionally serialises whole
+// commits per shard, so records from different transactions never
+// interleave.
+type Log struct {
+	p      *pmem.Pool
+	hdrOff int64
+
+	mu     sync.Mutex
+	region int64
+	cap    int64
+	tail   int64 // next append offset within the region (mirrors pmem)
+}
+
+// Rec is one decoded record, as yielded by Scan.
+type Rec struct {
+	ID      uint64
+	Kind    Kind
+	Payload []byte
+}
+
+// Capacity returns the log's fixed record-space capacity in bytes.
+func (l *Log) Capacity() int64 { return l.cap }
+
+// RecordSize returns the log bytes one record of payloadLen bytes
+// occupies: header, ID and kind words plus the word-padded payload.
+func RecordSize(payloadLen int) int64 {
+	return recHdrBytes + roundUp(int64(payloadLen), pmem.WordSize)
+}
+
+// SpaceFor reports whether a payload of n bytes fits an EMPTY log — the
+// admission check commits run before writing anything, so a too-large
+// transaction aborts cleanly instead of half-appending.
+func (l *Log) SpaceFor(n int) bool {
+	return recHdrBytes+roundUp(int64(n), pmem.WordSize) <= l.cap
+}
+
+// Create initialises an empty log of the given capacity (0 = DefaultCap)
+// anchored at the pool root slot and persists it.
+func Create(p *pmem.Pool, th *pmem.Thread, slot int, capBytes int64) (*Log, error) {
+	if capBytes <= 0 {
+		capBytes = DefaultCap
+	}
+	capBytes = roundUp(capBytes, pmem.LineSize)
+	hdr, err := p.Alloc(hdrBytes, pmem.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("txnlog: alloc header: %w", err)
+	}
+	region, err := p.Alloc(capBytes, pmem.LineSize)
+	if err != nil {
+		return nil, fmt.Errorf("txnlog: alloc region: %w", err)
+	}
+	l := &Log{p: p, hdrOff: hdr, region: region, cap: capBytes}
+	th.Store(hdr+hdrRegionWord*pmem.WordSize, uint64(region))
+	th.Store(hdr+hdrCapWord*pmem.WordSize, uint64(capBytes))
+	th.Store(hdr+hdrTailWord*pmem.WordSize, 0)
+	th.Store(hdr+hdrMagicWord*pmem.WordSize, logMagic<<32|logVersion)
+	th.Persist(hdr, hdrBytes)
+	p.SetRoot(th, slot, hdr)
+	return l, nil
+}
+
+// Open re-attaches to the log anchored at slot and runs recovery: the tail
+// is bounds-checked and every record below it re-validated; the log is
+// truncated (volatile-side only — the caller decides when to Truncate
+// durably) at the first invalid record. The surviving records are exactly
+// what Scan will yield.
+func Open(p *pmem.Pool, th *pmem.Thread, slot int) (*Log, error) {
+	hdr := p.Root(th, slot)
+	if hdr == 0 {
+		return nil, fmt.Errorf("%w: no log at root slot %d", ErrCorrupt, slot)
+	}
+	magic := th.Load(hdr + hdrMagicWord*pmem.WordSize)
+	if magic>>32 != logMagic || magic&0xffffffff != logVersion {
+		return nil, fmt.Errorf("%w: bad magic %#x at root slot %d", ErrCorrupt, magic, slot)
+	}
+	l := &Log{
+		p:      p,
+		hdrOff: hdr,
+		region: int64(th.Load(hdr + hdrRegionWord*pmem.WordSize)),
+		cap:    int64(th.Load(hdr + hdrCapWord*pmem.WordSize)),
+	}
+	if l.region <= 0 || l.cap <= 0 || l.region+l.cap > p.Size() {
+		return nil, fmt.Errorf("%w: region [%d,+%d) outside pool", ErrCorrupt, l.region, l.cap)
+	}
+	tail := int64(th.Load(hdr + hdrTailWord*pmem.WordSize))
+	if tail < 0 || tail > l.cap || tail%pmem.WordSize != 0 {
+		// A torn tail word is impossible (8-byte atomic stores), but a
+		// corrupt image could hold anything; an unparseable tail means no
+		// record was ever durably published past a parseable state, so
+		// treat the log as empty rather than guess.
+		tail = 0
+	}
+	// Walk the records below the tail; stop at the first invalid one.
+	off := int64(0)
+	for off < tail {
+		n, ok := l.checkRecord(th, off, tail)
+		if !ok {
+			break
+		}
+		off += n
+	}
+	l.tail = off
+	return l, nil
+}
+
+// checkRecord validates the record at byte offset off (within the region),
+// returning its total size and whether it is intact and fits below bound.
+func (l *Log) checkRecord(th *pmem.Thread, off, bound int64) (int64, bool) {
+	if off+recHdrBytes > bound {
+		return 0, false
+	}
+	hdrWord := th.Load(l.region + off)
+	if hdrWord == 0 {
+		return 0, false
+	}
+	plen := int64(hdrWord&0xffffffff) - 1
+	if plen < 0 || plen > l.cap {
+		return 0, false
+	}
+	need := recHdrBytes + roundUp(plen, pmem.WordSize)
+	if off+need > bound {
+		return 0, false
+	}
+	id := th.Load(l.region + off + pmem.WordSize)
+	kind := Kind(th.Load(l.region + off + 2*pmem.WordSize))
+	if kind != KindIntent && kind != KindCommit {
+		return 0, false
+	}
+	payload := appendPayload(th, nil, l.region+off+recHdrBytes, int(plen))
+	if recordCRC(id, kind, payload) != uint32(hdrWord>>32) {
+		return 0, false
+	}
+	return need, true
+}
+
+// Append publishes one record. It is durable when Append returns: a crash
+// mid-append can only lose the whole record, never expose a torn one.
+func (l *Log) Append(th *pmem.Thread, id uint64, kind Kind, payload []byte) error {
+	need := recHdrBytes + roundUp(int64(len(payload)), pmem.WordSize)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if need > l.cap {
+		return fmt.Errorf("%w: %d > %d bytes", ErrTooLarge, need, l.cap)
+	}
+	if l.tail+need > l.cap {
+		return fmt.Errorf("%w: %d bytes free, need %d", ErrFull, l.cap-l.tail, need)
+	}
+	off := l.region + l.tail
+	// Step 1: payload words, the ID, the kind, then the header word,
+	// flushed together.
+	for i, pos := 0, off+recHdrBytes; i < len(payload); i, pos = i+8, pos+pmem.WordSize {
+		th.Store(pos, packWord(payload[i:]))
+	}
+	th.Store(off+pmem.WordSize, id)
+	th.Store(off+2*pmem.WordSize, uint64(kind))
+	crc := recordCRC(id, kind, payload)
+	th.Store(off, uint64(len(payload)+1)|uint64(crc)<<32)
+	th.Flush(off, need)
+	// Steps 2+3: fence, then commit by advancing the tail over the record.
+	l.tail += need
+	l.persistTail(th)
+	return nil
+}
+
+// Truncate durably empties the log: one atomic persisted store of
+// tail = 0. It must be durable before the next transaction appends (the
+// store holds the commit serialisation lock across both), otherwise a
+// crash image could pair a new transaction's record with a stale tail that
+// still covers the old transaction's bytes.
+func (l *Log) Truncate(th *pmem.Thread) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.tail == 0 {
+		return
+	}
+	l.tail = 0
+	l.persistTail(th)
+}
+
+// Len returns the published bytes in the log (0 = empty).
+func (l *Log) Len() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tail
+}
+
+// Scan yields every published record in append order until fn returns
+// false. The payload slice is freshly allocated per record and owned by
+// fn. Records were validated at Open (or written by this process), so Scan
+// trusts headers below the tail.
+func (l *Log) Scan(th *pmem.Thread, fn func(r Rec) bool) {
+	l.mu.Lock()
+	tail := l.tail
+	l.mu.Unlock()
+	off := int64(0)
+	for off < tail {
+		hdrWord := th.Load(l.region + off)
+		plen := int64(hdrWord&0xffffffff) - 1
+		r := Rec{
+			ID:   th.Load(l.region + off + pmem.WordSize),
+			Kind: Kind(th.Load(l.region + off + 2*pmem.WordSize)),
+		}
+		r.Payload = appendPayload(th, nil, l.region+off+recHdrBytes, int(plen))
+		if !fn(r) {
+			return
+		}
+		off += recHdrBytes + roundUp(plen, pmem.WordSize)
+	}
+}
+
+// persistTail publishes l.tail: fence so the records (or truncation) it
+// covers are ordered first, then one atomic store, flushed (durable on
+// return).
+func (l *Log) persistTail(th *pmem.Thread) {
+	th.StoreFence()
+	off := l.hdrOff + hdrTailWord*pmem.WordSize
+	th.Store(off, uint64(l.tail))
+	th.Flush(off, pmem.WordSize)
+}
+
+// packWord packs up to 8 bytes little-endian.
+func packWord(b []byte) uint64 {
+	var w uint64
+	n := len(b)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		w |= uint64(b[i]) << (8 * i)
+	}
+	return w
+}
+
+// appendPayload appends n payload bytes stored word-packed at off to dst.
+func appendPayload(th *pmem.Thread, dst []byte, off int64, n int) []byte {
+	for i := 0; i < n; i += 8 {
+		w := th.Load(off + int64(i))
+		m := n - i
+		if m > 8 {
+			m = 8
+		}
+		for b := 0; b < m; b++ {
+			dst = append(dst, byte(w>>(8*b)))
+		}
+	}
+	return dst
+}
+
+func roundUp(v, m int64) int64 { return (v + m - 1) / m * m }

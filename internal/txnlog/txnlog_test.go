@@ -1,0 +1,327 @@
+package txnlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pmem"
+)
+
+const testSlot = 6
+
+func testValue(rng *rand.Rand, n int) []byte {
+	v := make([]byte, n)
+	rng.Read(v)
+	return v
+}
+
+// collect drains the log into a slice.
+func collect(l *Log, th *pmem.Thread) []Rec {
+	var out []Rec
+	l.Scan(th, func(r Rec) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+func TestAppendScanTruncate(t *testing.T) {
+	p := pmem.New(pmem.Config{Size: 4 << 20})
+	th := p.NewThread()
+	l, err := Create(p, th, testSlot, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		{},
+		[]byte("x"),
+		[]byte("eight..."),
+		bytes.Repeat([]byte{0xaa}, 100),
+	}
+	for i, pl := range payloads {
+		kind := KindIntent
+		if i%2 == 1 {
+			kind = KindCommit
+		}
+		if err := l.Append(th, uint64(100+i), kind, pl); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	recs := collect(l, th)
+	if len(recs) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(recs), len(payloads))
+	}
+	for i, r := range recs {
+		if r.ID != uint64(100+i) || !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d: id=%d payload %d bytes", i, r.ID, len(r.Payload))
+		}
+	}
+	// Early stop.
+	seen := 0
+	l.Scan(th, func(Rec) bool { seen++; return false })
+	if seen != 1 {
+		t.Fatalf("early-stop scan saw %d records", seen)
+	}
+	l.Truncate(th)
+	if l.Len() != 0 || len(collect(l, th)) != 0 {
+		t.Fatal("truncated log not empty")
+	}
+	// Reusable after truncation.
+	if err := l.Append(th, 7, KindIntent, []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(l, th); len(recs) != 1 || string(recs[0].Payload) != "again" {
+		t.Fatal("post-truncate append not visible")
+	}
+}
+
+func TestOpenRecoversPublishedRecords(t *testing.T) {
+	p := pmem.New(pmem.Config{Size: 4 << 20})
+	th := p.NewThread()
+	l, err := Create(p, th, testSlot, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		v := testValue(rng, rng.Intn(200))
+		if err := l.Append(th, uint64(i), KindIntent, v); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, v)
+	}
+	re, err := Open(p, th, testSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(re, th)
+	if len(recs) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(want))
+	}
+	for i, r := range recs {
+		if r.ID != uint64(i) || r.Kind != KindIntent || !bytes.Equal(r.Payload, want[i]) {
+			t.Fatalf("record %d corrupt after reopen", i)
+		}
+	}
+}
+
+func TestSpaceErrors(t *testing.T) {
+	p := pmem.New(pmem.Config{Size: 4 << 20})
+	th := p.NewThread()
+	l, err := Create(p, th, testSlot, pmem.LineSize) // one line: 64 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.SpaceFor(8) || l.SpaceFor(1<<10) {
+		t.Fatal("SpaceFor disagrees with capacity")
+	}
+	if err := l.Append(th, 1, KindIntent, make([]byte, 1<<10)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: %v", err)
+	}
+	// Fill it, then overflow.
+	if err := l.Append(th, 1, KindIntent, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(th, 2, KindIntent, make([]byte, 32)); !errors.Is(err, ErrFull) {
+		t.Fatalf("overflow append: %v", err)
+	}
+	l.Truncate(th)
+	if err := l.Append(th, 3, KindIntent, make([]byte, 32)); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+}
+
+// crashAppendMatrix injects a crash at every point of an append's persist
+// tape under each survivor model: committed records byte-exact, the
+// in-flight record wholly present or wholly absent, the log usable after.
+func crashAppendMatrix(t *testing.T, model pmem.MemModel) {
+	rng := rand.New(rand.NewSource(7))
+	p := pmem.New(pmem.Config{Size: 4 << 20, TrackCrashes: true, Model: model})
+	th := p.NewThread()
+	l, err := Create(p, th, testSlot, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var comVals [][]byte
+	for i := 0; i < 5; i++ {
+		v := testValue(rng, 40+i)
+		if err := l.Append(th, uint64(i), KindIntent, v); err != nil {
+			t.Fatal(err)
+		}
+		comVals = append(comVals, v)
+	}
+	p.StartCrashLog()
+	inflight := testValue(rng, 100)
+	if err := l.Append(th, 999, KindCommit, inflight); err != nil {
+		t.Fatal(err)
+	}
+	tape := p.LogLen()
+	if tape == 0 {
+		t.Fatal("empty crash tape")
+	}
+	for point := 0; point <= tape; point++ {
+		for _, mode := range []pmem.CrashMode{pmem.CrashNone, pmem.CrashAll, pmem.CrashRandom} {
+			img := p.CrashImage(point, mode, rng)
+			ith := img.NewThread()
+			rl, err := Open(img, ith, testSlot)
+			if err != nil {
+				t.Fatalf("point %d/%d mode %d: reopen: %v", point, tape, mode, err)
+			}
+			recs := collect(rl, ith)
+			if len(recs) != len(comVals) && len(recs) != len(comVals)+1 {
+				t.Fatalf("point %d mode %d: %d records survive", point, mode, len(recs))
+			}
+			for i, v := range comVals {
+				r := recs[i]
+				if r.ID != uint64(i) || r.Kind != KindIntent || !bytes.Equal(r.Payload, v) {
+					t.Fatalf("point %d mode %d: committed record %d lost", point, mode, i)
+				}
+			}
+			if len(recs) == len(comVals)+1 {
+				r := recs[len(recs)-1]
+				if r.ID != 999 || r.Kind != KindCommit || !bytes.Equal(r.Payload, inflight) {
+					t.Fatalf("point %d mode %d: TORN in-flight record", point, mode)
+				}
+			} else if point == tape && mode != pmem.CrashRandom {
+				// Append returned, so at the full tape the record must be
+				// there under any model that keeps persisted lines.
+				t.Fatalf("completed append lost at full tape (mode %d)", mode)
+			}
+			// Recovered log keeps working.
+			if err := rl.Append(ith, 31337, KindIntent, []byte("post-crash")); err != nil {
+				t.Fatalf("point %d mode %d: post-recovery append: %v", point, mode, err)
+			}
+			post := collect(rl, ith)
+			if got := post[len(post)-1]; string(got.Payload) != "post-crash" {
+				t.Fatalf("point %d mode %d: post-recovery scan", point, mode)
+			}
+		}
+	}
+}
+
+func TestCrashEveryPointOfAppend(t *testing.T)       { crashAppendMatrix(t, pmem.TSO) }
+func TestCrashEveryPointOfAppendNonTSO(t *testing.T) { crashAppendMatrix(t, pmem.NonTSO) }
+
+// crashTruncateMatrix crashes at every point of a Truncate: the reopened
+// log holds either the full pre-truncate record set or nothing — never a
+// suffix, prefix, or torn record.
+func crashTruncateMatrix(t *testing.T, model pmem.MemModel) {
+	rng := rand.New(rand.NewSource(11))
+	p := pmem.New(pmem.Config{Size: 4 << 20, TrackCrashes: true, Model: model})
+	th := p.NewThread()
+	l, err := Create(p, th, testSlot, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals [][]byte
+	for i := 0; i < 4; i++ {
+		v := testValue(rng, 30*i)
+		if err := l.Append(th, uint64(i), KindIntent, v); err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+	}
+	p.StartCrashLog()
+	l.Truncate(th)
+	tape := p.LogLen()
+	for point := 0; point <= tape; point++ {
+		for _, mode := range []pmem.CrashMode{pmem.CrashNone, pmem.CrashAll, pmem.CrashRandom} {
+			img := p.CrashImage(point, mode, rng)
+			ith := img.NewThread()
+			rl, err := Open(img, ith, testSlot)
+			if err != nil {
+				t.Fatalf("point %d/%d mode %d: reopen: %v", point, tape, mode, err)
+			}
+			recs := collect(rl, ith)
+			switch len(recs) {
+			case 0: // truncation won
+			case len(vals): // truncation lost; records must be intact
+				for i, v := range vals {
+					if recs[i].ID != uint64(i) || !bytes.Equal(recs[i].Payload, v) {
+						t.Fatalf("point %d mode %d: record %d torn", point, mode, i)
+					}
+				}
+			default:
+				t.Fatalf("point %d mode %d: partial truncation, %d of %d records",
+					point, mode, len(recs), len(vals))
+			}
+		}
+	}
+}
+
+func TestCrashEveryPointOfTruncate(t *testing.T)       { crashTruncateMatrix(t, pmem.TSO) }
+func TestCrashEveryPointOfTruncateNonTSO(t *testing.T) { crashTruncateMatrix(t, pmem.NonTSO) }
+
+// TestOpenRejectsCorruptImages flips header fields and asserts fail-closed
+// behaviour: bad magic and out-of-range regions error, a wild tail or a
+// corrupted record body silently shrinks the log instead of yielding
+// garbage records.
+func TestOpenRejectsCorruptImages(t *testing.T) {
+	build := func() (*pmem.Pool, *pmem.Thread, *Log) {
+		p := pmem.New(pmem.Config{Size: 1 << 20})
+		th := p.NewThread()
+		l, err := Create(p, th, testSlot, 8<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if err := l.Append(th, uint64(i), KindIntent, []byte(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p, th, l
+	}
+
+	p, th, l := build()
+	hdr := p.Root(th, testSlot)
+	th.Store(hdr+hdrMagicWord*pmem.WordSize, 0xdeadbeef)
+	if _, err := Open(p, th, testSlot); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+
+	p, th, l = build()
+	hdr = p.Root(th, testSlot)
+	th.Store(hdr+hdrRegionWord*pmem.WordSize, uint64(p.Size()))
+	if _, err := Open(p, th, testSlot); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wild region: %v", err)
+	}
+
+	// Wild tail: treated as empty.
+	p, th, l = build()
+	hdr = p.Root(th, testSlot)
+	th.Store(hdr+hdrTailWord*pmem.WordSize, uint64(1<<40))
+	re, err := Open(p, th, testSlot)
+	if err != nil {
+		t.Fatalf("wild tail: %v", err)
+	}
+	if got := len(collect(re, th)); got != 0 {
+		t.Fatalf("wild tail yielded %d records", got)
+	}
+
+	// Flip a payload byte of the middle record: the walk truncates there,
+	// keeping only the first record.
+	p, th, l = build()
+	var offs []int64
+	off := int64(0)
+	for off < l.Len() {
+		offs = append(offs, off)
+		hdrWord := th.Load(l.region + off)
+		off += recHdrBytes + roundUp(int64(hdrWord&0xffffffff)-1, pmem.WordSize)
+	}
+	if len(offs) != 3 {
+		t.Fatalf("expected 3 records, got %d", len(offs))
+	}
+	mid := l.region + offs[1] + recHdrBytes
+	th.Store(mid, th.Load(mid)^0xff)
+	re, err = Open(p, th, testSlot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(collect(re, th)); got != 1 {
+		t.Fatalf("corrupt middle record: %d records survive, want 1", got)
+	}
+}

@@ -723,6 +723,34 @@ func (c *conn) serve(ss *store.Session, req *wire.Request, wid int) svResp {
 			start = ve
 		}
 		resp.KPairs = vb.kpairs
+	case wire.OpTxn:
+		// The whole write-set commits atomically through the store's
+		// redo-log protocol, on this executor's session (sessions are
+		// per-goroutine, honoring Commit's single-goroutine contract).
+		tx := ss.Begin()
+		for i := range req.TxnOps {
+			op := &req.TxnOps[i]
+			var err error
+			switch op.Kind {
+			case wire.TxnPut:
+				err = tx.Put(op.Key, op.Val)
+			case wire.TxnDelete:
+				err = tx.Delete(op.Key)
+			case wire.TxnPutK:
+				err = tx.PutKV(op.KKey, op.VVal)
+			case wire.TxnDeleteK:
+				err = tx.DeleteKV(op.KKey)
+			default:
+				err = fmt.Errorf("server: txn op %d has unknown kind %d", i, op.Kind)
+			}
+			if err != nil {
+				tx.Rollback()
+				return fail(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return fail(err)
+		}
 	case wire.OpStats:
 		st := s.Stats()
 		vs := s.st.ValueStats()

@@ -10,13 +10,13 @@ import (
 )
 
 // Per-opcode metric slots: slot 0 collects anything outside the known
-// opcode range (unknown ops, undecodable frames), slots 1..13 mirror the
+// opcode range (unknown ops, undecodable frames), slots 1..14 mirror the
 // wire opcodes. Arrays indexed by slot keep the hot-path record a bounds-
 // checked array access, no map lookups.
-const numOps = 14
+const numOps = 15
 
 func opSlot(op wire.Op) int {
-	if op >= wire.OpGet && op <= wire.OpScanK {
+	if op >= wire.OpGet && op <= wire.OpTxn {
 		return int(op)
 	}
 	return 0
@@ -25,7 +25,7 @@ func opSlot(op wire.Op) int {
 var opNames = [numOps]string{
 	"other", "Get", "Put", "Delete", "PutBatch",
 	"Scan", "Stats", "GetV", "PutV", "ScanV",
-	"GetK", "PutK", "DeleteK", "ScanK",
+	"GetK", "PutK", "DeleteK", "ScanK", "Txn",
 }
 
 // Op classes summarize latency for the wire Stats frame: read = Get/GetV/
@@ -56,6 +56,7 @@ var opClasses = [numOps]int{
 	classWrite, // PutK
 	classWrite, // DeleteK
 	classScan,  // ScanK
+	classWrite, // Txn
 }
 
 // serverMetrics is the server's always-on instrumentation: per-opcode

@@ -132,10 +132,12 @@ func (ss *Session) PutBytes(key uint64, val []byte) error {
 			return fmt.Errorf("%w: shard %d: %v", ErrNoSpace, i, aerr)
 		}
 	}
+	sh.gc.applyMu.RLock()
 	sh.gc.varMu.RLock()
 	ref, err := sh.vl.Append(ss.ths[i], key, val)
 	if err != nil {
 		sh.gc.varMu.RUnlock()
+		sh.gc.applyMu.RUnlock()
 		ss.s.release()
 		if errors.Is(err, vlog.ErrFull) {
 			// Admission raced another writer into the last extent; the
@@ -149,11 +151,13 @@ func (ss *Session) PutBytes(key uint64, val []byte) error {
 		// The appended record is leaked until GC finds it dead; the
 		// operation itself failed cleanly.
 		sh.gc.varMu.RUnlock()
+		sh.gc.applyMu.RUnlock()
 		ss.s.release()
 		return err
 	}
 	stale := existed && ss.retireWord(i, key, old)
 	sh.gc.varMu.RUnlock()
+	sh.gc.applyMu.RUnlock()
 	ss.s.release()
 	if stale {
 		ss.maybeGC(i)

@@ -339,81 +339,88 @@ func (ss *Session) PutKV(key, val []byte) error {
 			return err
 		}
 	}
-	sh.gc.kvMu.Lock()
-	var stale bool
-	for {
-		sh.gc.varMu.RLock()
-		ref, ok := sh.ix.Get(th, p)
-		var bucket []byte
-		if ok {
-			b, found, err := ss.readBucket(i, p, ref, true)
-			if err != nil {
-				sh.gc.varMu.RUnlock()
-				sh.gc.kvMu.Unlock()
-				ss.s.release()
-				return err
-			}
-			if !found {
-				// Deleted between Get and read (uint64-API race); treat
-				// as absent on the next attempt.
-				sh.gc.varMu.RUnlock()
-				continue
-			}
-			bucket = b
-		}
-		newb, _, err := bucketUpsert(ss.kvNew[:0], bucket, p, key, val)
-		if err != nil {
-			sh.gc.varMu.RUnlock()
-			sh.gc.kvMu.Unlock()
-			ss.s.release()
-			return wrapKVReadErr(p, err)
-		}
-		ss.kvNew = newb
-		if len(newb) > maxBucket {
-			sh.gc.varMu.RUnlock()
-			sh.gc.kvMu.Unlock()
-			ss.s.release()
-			return fmt.Errorf("%w: prefix %#x at %d bytes", ErrBucketOverflow, p, len(newb))
-		}
-		newRef, aerr := sh.vl.Append(th, p, newb)
-		if aerr != nil {
-			sh.gc.varMu.RUnlock()
-			sh.gc.kvMu.Unlock()
-			ss.s.release()
-			if errors.Is(aerr, vlog.ErrFull) || errors.Is(aerr, vlog.ErrTooLarge) {
-				return fmt.Errorf("%w: shard %d: %v", ErrNoSpace, i, aerr)
-			}
-			return fmt.Errorf("store: shard %d value log: %w", i, aerr)
-		}
-		if !ok {
-			old, existed, xerr := index.Exchange(sh.ix, th, p, uint64(newRef))
-			if xerr != nil {
-				sh.gc.varMu.RUnlock()
-				sh.gc.kvMu.Unlock()
-				ss.s.release()
-				return xerr
-			}
-			stale = existed && ss.retireWord(i, p, old)
-		} else if !index.ReplaceIf(sh.ix, th, p, ref, uint64(newRef)) {
-			// A GC pass relocated the bucket between our read and the
-			// install: the new record targets a superseded image. Retire
-			// it and rebuild against the fresh word. (Only GC moves the
-			// word — byte-key writers hold kvMu.)
-			ss.retireWord(i, p, uint64(newRef))
-			sh.gc.varMu.RUnlock()
-			continue
-		} else {
-			stale = ss.retireWord(i, p, ref)
-		}
-		sh.gc.varMu.RUnlock()
-		break
-	}
-	sh.gc.kvMu.Unlock()
+	sh.gc.applyMu.RLock()
+	stale, perr := ss.putKVApply(i, p, key, val)
+	sh.gc.applyMu.RUnlock()
 	ss.s.release()
 	if stale {
 		ss.maybeGC(i)
 	}
-	return nil
+	return perr
+}
+
+// putKVApply performs the locked bucket rewrite behind PutKV: read the
+// prefix's current bucket, upsert the entry, append the new image, install
+// it over the old word. It serialises on the shard's kvMu and retries
+// around concurrent GC relocations. The caller must hold the shard's
+// applyMu (shared for plain writes, exclusive inside a transaction commit)
+// or be the only mutator (recovery replay), and reports whether a displaced
+// record turned stale (the caller runs maybeGC once its locks are down).
+func (ss *Session) putKVApply(i int, p uint64, key, val []byte) (stale bool, err error) {
+	sh := &ss.s.shards[i]
+	th := ss.ths[i]
+	sh.gc.kvMu.Lock()
+	defer sh.gc.kvMu.Unlock()
+	for {
+		// One attempt under the reclamation read-lock; done=false with a
+		// nil error means a concurrent delete or GC relocation invalidated
+		// the snapshot — retry against the fresh tree word.
+		done := false
+		stale, err = func() (bool, error) {
+			sh.gc.varMu.RLock()
+			defer sh.gc.varMu.RUnlock()
+			ref, ok := sh.ix.Get(th, p)
+			var bucket []byte
+			if ok {
+				b, found, err := ss.readBucket(i, p, ref, true)
+				if err != nil {
+					return false, err
+				}
+				if !found {
+					// Deleted between Get and read (uint64-API race);
+					// treat as absent on the next attempt.
+					return false, nil
+				}
+				bucket = b
+			}
+			newb, _, err := bucketUpsert(ss.kvNew[:0], bucket, p, key, val)
+			if err != nil {
+				return false, wrapKVReadErr(p, err)
+			}
+			ss.kvNew = newb
+			if len(newb) > maxBucket {
+				return false, fmt.Errorf("%w: prefix %#x at %d bytes", ErrBucketOverflow, p, len(newb))
+			}
+			newRef, aerr := sh.vl.Append(th, p, newb)
+			if aerr != nil {
+				if errors.Is(aerr, vlog.ErrFull) || errors.Is(aerr, vlog.ErrTooLarge) {
+					return false, fmt.Errorf("%w: shard %d: %v", ErrNoSpace, i, aerr)
+				}
+				return false, fmt.Errorf("store: shard %d value log: %w", i, aerr)
+			}
+			if !ok {
+				old, existed, xerr := index.Exchange(sh.ix, th, p, uint64(newRef))
+				if xerr != nil {
+					return false, xerr
+				}
+				done = true
+				return existed && ss.retireWord(i, p, old), nil
+			}
+			if !index.ReplaceIf(sh.ix, th, p, ref, uint64(newRef)) {
+				// A GC pass relocated the bucket between our read and the
+				// install: the new record targets a superseded image.
+				// Retire it and rebuild against the fresh word. (Only GC
+				// moves the word — byte-key writers hold kvMu.)
+				ss.retireWord(i, p, uint64(newRef))
+				return false, nil
+			}
+			done = true
+			return ss.retireWord(i, p, ref), nil
+		}()
+		if err != nil || done {
+			return stale, err
+		}
+	}
 }
 
 // GetKV returns the value stored under a byte-string key, appended to dst
@@ -465,76 +472,77 @@ func (ss *Session) DeleteKV(key []byte) (bool, error) {
 	}
 	i := ss.s.ShardForKey(key)
 	p := PackPrefix(key)
-	sh := &ss.s.shards[i]
-	th := ss.ths[i]
-	sh.gc.kvMu.Lock()
-	var existed, stale bool
-	for {
-		sh.gc.varMu.RLock()
-		ref, ok := sh.ix.Get(th, p)
-		if !ok {
-			sh.gc.varMu.RUnlock()
-			break
-		}
-		b, found, err := ss.readBucket(i, p, ref, true)
-		if err != nil {
-			sh.gc.varMu.RUnlock()
-			sh.gc.kvMu.Unlock()
-			ss.s.release()
-			return false, err
-		}
-		if !found {
-			sh.gc.varMu.RUnlock()
-			break
-		}
-		newb, removed, perr := bucketRemove(ss.kvNew[:0], b, p, key)
-		if perr != nil {
-			sh.gc.varMu.RUnlock()
-			sh.gc.kvMu.Unlock()
-			ss.s.release()
-			return false, wrapKVReadErr(p, perr)
-		}
-		ss.kvNew = newb
-		if !removed {
-			sh.gc.varMu.RUnlock()
-			break
-		}
-		if len(newb) == 0 {
-			// Last entry: drop the prefix. Between our read and the
-			// Remove only GC can have moved the word (same content), so
-			// whatever Remove displaces is this bucket's live record.
-			old, was := index.Remove(sh.ix, th, p)
-			stale = was && ss.retireWord(i, p, old)
-			existed = true
-			sh.gc.varMu.RUnlock()
-			break
-		}
-		newRef, aerr := sh.vl.Append(th, p, newb)
-		if aerr != nil {
-			sh.gc.varMu.RUnlock()
-			sh.gc.kvMu.Unlock()
-			ss.s.release()
-			if errors.Is(aerr, vlog.ErrFull) {
-				return false, fmt.Errorf("%w: shard %d: %v", ErrNoSpace, i, aerr)
-			}
-			return false, fmt.Errorf("store: shard %d value log: %w", i, aerr)
-		}
-		if !index.ReplaceIf(sh.ix, th, p, ref, uint64(newRef)) {
-			ss.retireWord(i, p, uint64(newRef))
-			sh.gc.varMu.RUnlock()
-			continue
-		}
-		stale = ss.retireWord(i, p, ref)
-		existed = true
-		sh.gc.varMu.RUnlock()
-		break
-	}
-	sh.gc.kvMu.Unlock()
+	gc := ss.s.shards[i].gc
+	gc.applyMu.RLock()
+	existed, stale, err := ss.deleteKVApply(i, p, key)
+	gc.applyMu.RUnlock()
 	ss.s.release()
 	if stale {
 		ss.maybeGC(i)
 	}
-	return existed, nil
+	return existed, err
+}
+
+// deleteKVApply performs the locked bucket rewrite behind DeleteKV, under
+// the same caller contract as putKVApply.
+func (ss *Session) deleteKVApply(i int, p uint64, key []byte) (existed, stale bool, err error) {
+	sh := &ss.s.shards[i]
+	th := ss.ths[i]
+	sh.gc.kvMu.Lock()
+	defer sh.gc.kvMu.Unlock()
+	for {
+		done := false
+		existed, stale, err = func() (bool, bool, error) {
+			sh.gc.varMu.RLock()
+			defer sh.gc.varMu.RUnlock()
+			ref, ok := sh.ix.Get(th, p)
+			if !ok {
+				done = true
+				return false, false, nil
+			}
+			b, found, err := ss.readBucket(i, p, ref, true)
+			if err != nil {
+				return false, false, err
+			}
+			if !found {
+				done = true
+				return false, false, nil
+			}
+			newb, removed, perr := bucketRemove(ss.kvNew[:0], b, p, key)
+			if perr != nil {
+				return false, false, wrapKVReadErr(p, perr)
+			}
+			ss.kvNew = newb
+			if !removed {
+				done = true
+				return false, false, nil
+			}
+			if len(newb) == 0 {
+				// Last entry: drop the prefix. Between our read and the
+				// Remove only GC can have moved the word (same content), so
+				// whatever Remove displaces is this bucket's live record.
+				old, was := index.Remove(sh.ix, th, p)
+				done = true
+				return true, was && ss.retireWord(i, p, old), nil
+			}
+			newRef, aerr := sh.vl.Append(th, p, newb)
+			if aerr != nil {
+				if errors.Is(aerr, vlog.ErrFull) {
+					return false, false, fmt.Errorf("%w: shard %d: %v", ErrNoSpace, i, aerr)
+				}
+				return false, false, fmt.Errorf("store: shard %d value log: %w", i, aerr)
+			}
+			if !index.ReplaceIf(sh.ix, th, p, ref, uint64(newRef)) {
+				ss.retireWord(i, p, uint64(newRef))
+				return false, false, nil
+			}
+			done = true
+			return true, ss.retireWord(i, p, ref), nil
+		}()
+		if err != nil || done {
+			return existed, stale, err
+		}
+	}
 }
 
 // kvSpan locates one collected entry inside a shard run's arena:

@@ -21,6 +21,7 @@ type storeMetrics struct {
 	get, put, del, putBatch, scan *metrics.Histogram
 	getBytes, putBytes, scanBytes *metrics.Histogram
 	getKV, putKV, delKV, scanKV   *metrics.Histogram
+	txnCommit                     *metrics.Histogram
 
 	// gcPause is the duration of one GC pass (manual or automatic — the
 	// latency a triggering writer absorbs); gcRelocated the live records
@@ -43,6 +44,7 @@ func newStoreMetrics() *storeMetrics {
 		putKV:       metrics.NewHistogram(),
 		delKV:       metrics.NewHistogram(),
 		scanKV:      metrics.NewHistogram(),
+		txnCommit:   metrics.NewHistogram(),
 		gcPause:     metrics.NewHistogram(),
 		gcRelocated: metrics.NewHistogram(),
 	}
@@ -64,6 +66,7 @@ func (s *Store) RegisterMetrics(reg *metrics.Registry) {
 		{"ScanBytes", m.scanBytes},
 		{"GetKV", m.getKV}, {"PutKV", m.putKV},
 		{"DeleteKV", m.delKV}, {"ScanKV", m.scanKV},
+		{"TxnCommit", m.txnCommit},
 	}
 	for _, op := range ops {
 		reg.Histogram("pmkv_store_op_seconds", `op="`+op.name+`"`,

@@ -99,8 +99,11 @@ func (ss *Session) Put(key, val uint64) error {
 		defer ss.s.met.put.RecordSince(time.Now())
 	}
 	i := ss.s.ShardFor(key)
+	gc := ss.s.shards[i].gc
+	gc.applyMu.RLock()
 	old, existed, err := index.Exchange(ss.s.shards[i].ix, ss.ths[i], key, val)
 	stale := err == nil && existed && old != val && ss.retireWord(i, key, old)
+	gc.applyMu.RUnlock()
 	ss.s.release()
 	if stale {
 		ss.maybeGC(i)
@@ -136,8 +139,11 @@ func (ss *Session) Delete(key uint64) (bool, error) {
 		defer ss.s.met.del.RecordSince(time.Now())
 	}
 	i := ss.s.ShardFor(key)
+	gc := ss.s.shards[i].gc
+	gc.applyMu.RLock()
 	old, existed := index.Remove(ss.s.shards[i].ix, ss.ths[i], key)
 	stale := existed && ss.retireWord(i, key, old)
+	gc.applyMu.RUnlock()
 	ss.s.release()
 	if stale {
 		ss.maybeGC(i)
@@ -180,6 +186,9 @@ func (ss *Session) PutBatch(pairs []KV) error {
 		active++
 		go func(i int, g []KV) {
 			ix, th := ss.s.shards[i].ix, ss.ths[i]
+			gc := ss.s.shards[i].gc
+			gc.applyMu.RLock()
+			defer gc.applyMu.RUnlock()
 			for _, kv := range g {
 				old, existed, err := index.Exchange(ix, th, kv.Key, kv.Val)
 				if err != nil {

@@ -26,6 +26,7 @@ import (
 
 	"repro/index"
 	"repro/internal/pmem"
+	"repro/internal/txnlog"
 	"repro/internal/vlog"
 )
 
@@ -66,6 +67,13 @@ type Options struct {
 	// 0 selects the default of 0.5; a negative value disables automatic
 	// GC entirely (Session.CompactValues still compacts on demand).
 	GCGarbageRatio float64
+	// TxnLogCap is the fixed capacity in bytes of each shard's
+	// transaction redo log (the crash-consistent intent buffer behind
+	// Txn commits). A transaction's encoded write-set for one shard,
+	// plus its commit mark, must fit the shard's log — larger
+	// transactions fail with ErrTxnTooLarge before writing anything.
+	// 0 picks a default scaled to ShardSize.
+	TxnLogCap int64
 }
 
 // LatencyOptions is the external-facing slice of pmem.Config: the emulated
@@ -117,6 +125,18 @@ func (o *Options) fill() error {
 			o.ValueLogExtent = 4096
 		}
 	}
+	if o.TxnLogCap == 0 {
+		// 1/16 of the shard, clamped: big enough that a transaction can
+		// carry a near-maximal byte-string value, small enough that tiny
+		// test shards keep their arena.
+		o.TxnLogCap = o.ShardSize / 16
+		if o.TxnLogCap > 4<<20 {
+			o.TxnLogCap = 4 << 20
+		}
+		if o.TxnLogCap < 64<<10 {
+			o.TxnLogCap = 64 << 10
+		}
+	}
 	return nil
 }
 
@@ -125,15 +145,17 @@ const maxShards = 1 << 16
 
 // The pool root slots holding shard metadata. The tree anchors at slot 0
 // and the FAST+Logging split log (and FP-tree recovery cursor) would claim
-// slot 4, so slots 2, 3 and 5 are free for every supported kind. stampSlot
-// identifies the shard (magic, shard count, shard id); shapeSlot records
-// how the shard's index was configured (kind hash, node size) so Reopen
-// refuses to misinterpret an image with the wrong options; vlogSlot anchors
-// the shard's value log (varlen values).
+// slot 4, so slots 2, 3, 5 and 6 are free for every supported kind.
+// stampSlot identifies the shard (magic, shard count, shard id); shapeSlot
+// records how the shard's index was configured (kind hash, node size) so
+// Reopen refuses to misinterpret an image with the wrong options; vlogSlot
+// anchors the shard's value log (varlen values); txnSlot anchors the
+// shard's transaction redo log (Txn commits).
 const (
 	stampSlot = 3
 	shapeSlot = 2
 	vlogSlot  = 5
+	txnSlot   = 6
 )
 
 // stampMagic brands a pool as a store shard ("FF+S" in the top word).
@@ -167,12 +189,24 @@ type Store struct {
 	// shard state released by Close (see Session.acquire).
 	closed   atomic.Bool
 	inflight atomic.Int64
+
+	// txnSeq issues transaction IDs. Volatile: every shard's redo log is
+	// truncated during Reopen, so restarting from zero cannot collide
+	// with a logged ID.
+	txnSeq atomic.Uint64
+
+	// commitStep, when non-nil, is invoked by Txn.Commit after every
+	// persist-generating step of the commit protocol (each intent
+	// append, each commit mark, each shard apply, each truncation). Test
+	// hook for consistent-cut crash matrices; nil in production.
+	commitStep func()
 }
 
 type shard struct {
 	pool *pmem.Pool
 	ix   index.Index
 	vl   *vlog.Log
+	tl   *txnlog.Log
 	gc   *shardGC
 }
 
@@ -200,6 +234,21 @@ type shardGC struct {
 	// content, and the writers' ReplaceIf install detects and retries
 	// around a concurrent swap. Lock order: kvMu before varMu.
 	kvMu sync.Mutex
+	// applyMu fences transaction commits against plain writers: every
+	// non-transactional mutation (Put, Delete, PutBatch, PutBytes,
+	// PutKV, DeleteKV) holds it shared for the mutation, and Txn.Commit
+	// holds it exclusively on every participating shard from before its
+	// first intent append until after its log truncation. Without it, a
+	// plain write landing between a committed transaction's tree apply
+	// and its truncation would be reverted if a crash forced recovery to
+	// replay the still-logged intents. Exclusive acquisition also
+	// serialises commits per shard, so at most one transaction's records
+	// ever occupy a redo log — which is what makes truncate-to-empty the
+	// correct cleanup. Commits lock their shards in ascending order
+	// (deadlock-free); plain writers hold at most one shard's applyMu at
+	// a time. Reads and GC never take it. Lock order: applyMu before
+	// kvMu before varMu.
+	applyMu sync.RWMutex
 }
 
 // Open creates a fresh store: opts.Shards pools, one index per pool, each
@@ -222,10 +271,14 @@ func Open(opts Options) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: shard %d value log: %w", i, err)
 		}
+		tl, err := txnlog.Create(p, th, txnSlot, opts.TxnLogCap)
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d txn log: %w", i, err)
+		}
 		p.SetRoot(th, stampSlot, stamp(i, opts.Shards))
 		p.SetRoot(th, shapeSlot, shape(opts.Kind, opts.NodeSize))
 		th.Release()
-		s.shards[i] = shard{pool: p, ix: ix, vl: vl, gc: &shardGC{}}
+		s.shards[i] = shard{pool: p, ix: ix, vl: vl, tl: tl, gc: &shardGC{}}
 	}
 	return s, nil
 }
@@ -301,8 +354,27 @@ func Reopen(pools []*pmem.Pool, opts Options) (*Store, error) {
 			garbage = 0
 		}
 		vl.ResetAccounting(live, garbage)
+		// Transaction redo-log recovery: bounds-check the tail, validate
+		// the published records (intents and commit marks survive here
+		// until recoverTxns below decides their fate). Images from before
+		// transactions existed get a fresh log.
+		var tl *txnlog.Log
+		if p.Root(th, txnSlot) == 0 {
+			tl, err = txnlog.Create(p, th, txnSlot, opts.TxnLogCap)
+		} else {
+			tl, err = txnlog.Open(p, th, txnSlot)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: shard %d txn log recovery: %w", i, err)
+		}
 		th.Release()
-		s.shards[i] = shard{pool: p, ix: ix, vl: vl, gc: &shardGC{}}
+		s.shards[i] = shard{pool: p, ix: ix, vl: vl, tl: tl, gc: &shardGC{}}
+	}
+	// With every shard rebuilt, settle in-flight transactions: replay the
+	// committed (a commit mark on ANY shard commits the transaction on
+	// every shard), discard the rest, and truncate the logs.
+	if err := s.recoverTxns(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

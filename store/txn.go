@@ -1,0 +1,634 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/index"
+	"repro/internal/txnlog"
+	"repro/internal/vlog"
+)
+
+// Multi-key ACID transactions. A Txn buffers writes — fixed-width and
+// byte-string keyed — in a volatile write-set with read-your-writes, and
+// Commit makes them durable atomically across any number of shards via a
+// per-shard crash-consistent redo log (internal/txnlog):
+//
+//  1. Group the write-set by shard and encode one deterministic intent
+//     payload per participating shard.
+//  2. Lock every participating shard's applyMu exclusively, in ascending
+//     shard order (commits serialise per shard; plain writers drain).
+//  3. Pre-flight: the intent plus a commit mark must fit each shard's
+//     redo log (ErrTxnTooLarge), projected bucket rewrites must fit the
+//     record bound (ErrBucketOverflow), and the value logs must admit the
+//     projected append volume (ErrNoSpace). Nothing is written yet, so
+//     failure aborts with the store untouched.
+//  4. Append the intent record to each shard's redo log. Each append is
+//     durable when it returns (record flush, fence, tail publish).
+//  5. Append a commit mark to each shard's redo log. THE FIRST DURABLE
+//     MARK IS THE COMMIT POINT: recovery treats a mark on any shard as
+//     committing the transaction on every shard. Marks are written only
+//     after step 4 finished on all shards, so a crash image holding a
+//     mark always holds every intent.
+//  6. Apply the write-set to the trees through the same code paths plain
+//     writes use (idempotent final-value puts and deletes).
+//  7. Truncate each shard's redo log and unlock.
+//
+// Recovery (Reopen → recoverTxns) scans every shard's log: intents whose
+// transaction has a mark anywhere are replayed — a replay of records a
+// crashed commit already applied is harmless because intents carry final
+// values — and everything else is discarded. At every consistent crash
+// cut this yields all-or-nothing: before the first mark no effect is
+// visible (applies had not started) and the intents are discarded; after
+// it, replay completes the transaction.
+//
+// Isolation is write-side only: commits serialise against each other and
+// against plain writers per shard (applyMu), but readers never block —
+// a concurrent Get/Scan may observe a subset of a committing
+// transaction's writes, matching the store's read-uncommitted scans.
+
+// Errors of the transaction API.
+var (
+	// ErrTxnDone reports an operation on a transaction that was already
+	// committed or rolled back.
+	ErrTxnDone = errors.New("store: transaction already finished")
+	// ErrTxnTooLarge reports a Commit whose encoded write-set for one
+	// shard exceeds the shard's redo-log capacity (Options.TxnLogCap).
+	// Nothing was written; the transaction may be retried in pieces.
+	ErrTxnTooLarge = errors.New("store: transaction exceeds redo-log capacity")
+	// ErrTxnIncomplete reports a Commit that reached its commit point but
+	// failed while applying to the trees. The transaction IS committed:
+	// its redo log survives, and the next Reopen replays it to
+	// completion. The store should be reopened before further writes.
+	ErrTxnIncomplete = errors.New("store: committed transaction applied incompletely (redo log retained for reopen)")
+)
+
+// Intent payload encoding: a flat sequence of ops, each
+//
+//	kind 1 (put):      0x01, key u64, val u64
+//	kind 2 (delete):   0x02, key u64
+//	kind 3 (put-kv):   0x03, klen u16, vlen u32, key bytes, val bytes
+//	kind 4 (delete-kv):0x04, klen u16, key bytes
+//
+// all little-endian. Decoding is fail-closed: exact consumption, length
+// caps, no partial results (see walkTxnPayload).
+const (
+	txnOpPut    = 1
+	txnOpDelete = 2
+	txnOpPutKV  = 3
+	txnOpDelKV  = 4
+)
+
+// txnOp is one decoded write-set operation. Fixed-width ops use key/val;
+// byte-key ops use bkey/bval.
+type txnOp struct {
+	kind byte
+	key  uint64
+	val  uint64
+	bkey []byte
+	bval []byte
+}
+
+// appendTxnOp appends op's encoding to dst.
+func appendTxnOp(dst []byte, op txnOp) []byte {
+	var w [8]byte
+	dst = append(dst, op.kind)
+	switch op.kind {
+	case txnOpPut:
+		binary.LittleEndian.PutUint64(w[:], op.key)
+		dst = append(dst, w[:]...)
+		binary.LittleEndian.PutUint64(w[:], op.val)
+		dst = append(dst, w[:]...)
+	case txnOpDelete:
+		binary.LittleEndian.PutUint64(w[:], op.key)
+		dst = append(dst, w[:]...)
+	case txnOpPutKV:
+		binary.LittleEndian.PutUint16(w[:2], uint16(len(op.bkey)))
+		binary.LittleEndian.PutUint32(w[2:6], uint32(len(op.bval)))
+		dst = append(dst, w[:6]...)
+		dst = append(dst, op.bkey...)
+		dst = append(dst, op.bval...)
+	case txnOpDelKV:
+		binary.LittleEndian.PutUint16(w[:2], uint16(len(op.bkey)))
+		dst = append(dst, w[:2]...)
+		dst = append(dst, op.bkey...)
+	}
+	return dst
+}
+
+// errBadTxnPayload is the internal decode failure; recovery wraps it.
+var errBadTxnPayload = errors.New("malformed transaction intent payload")
+
+// walkTxnPayload decodes an intent payload, calling visit per op. It is
+// fail-closed like parseBucket: the payload must consume exactly, kinds
+// must be known, byte keys must be 1..MaxKey bytes and values at most
+// MaxKVValue — anything else is errBadTxnPayload, never a partial parse.
+// The bkey/bval slices alias b.
+func walkTxnPayload(b []byte, visit func(op txnOp) bool) error {
+	for off := 0; off < len(b); {
+		kind := b[off]
+		off++
+		switch kind {
+		case txnOpPut:
+			if len(b)-off < 16 {
+				return errBadTxnPayload
+			}
+			op := txnOp{kind: kind,
+				key: binary.LittleEndian.Uint64(b[off:]),
+				val: binary.LittleEndian.Uint64(b[off+8:])}
+			off += 16
+			if !visit(op) {
+				return nil
+			}
+		case txnOpDelete:
+			if len(b)-off < 8 {
+				return errBadTxnPayload
+			}
+			op := txnOp{kind: kind, key: binary.LittleEndian.Uint64(b[off:])}
+			off += 8
+			if !visit(op) {
+				return nil
+			}
+		case txnOpPutKV:
+			if len(b)-off < 6 {
+				return errBadTxnPayload
+			}
+			kl := int(binary.LittleEndian.Uint16(b[off:]))
+			vl := int(binary.LittleEndian.Uint32(b[off+2:]))
+			off += 6
+			if kl < 1 || kl > MaxKey || vl > MaxKVValue || kl+vl > len(b)-off {
+				return errBadTxnPayload
+			}
+			op := txnOp{kind: kind,
+				bkey: b[off : off+kl : off+kl],
+				bval: b[off+kl : off+kl+vl : off+kl+vl]}
+			off += kl + vl
+			if !visit(op) {
+				return nil
+			}
+		case txnOpDelKV:
+			if len(b)-off < 2 {
+				return errBadTxnPayload
+			}
+			kl := int(binary.LittleEndian.Uint16(b[off:]))
+			off += 2
+			if kl < 1 || kl > MaxKey || kl > len(b)-off {
+				return errBadTxnPayload
+			}
+			op := txnOp{kind: kind, bkey: b[off : off+kl : off+kl]}
+			off += kl
+			if !visit(op) {
+				return nil
+			}
+		default:
+			return errBadTxnPayload
+		}
+	}
+	return nil
+}
+
+// decodeTxnOps decodes a full intent payload (fail-closed).
+func decodeTxnOps(b []byte) ([]txnOp, error) {
+	var ops []txnOp
+	if err := walkTxnPayload(b, func(op txnOp) bool {
+		ops = append(ops, op)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return ops, nil
+}
+
+// txnWrite is a buffered fixed-width write; txnKVWrite a buffered
+// byte-key write. del=true buffers a delete.
+type txnWrite struct {
+	val uint64
+	del bool
+}
+type txnKVWrite struct {
+	val []byte
+	del bool
+}
+
+// Txn is one in-flight transaction: a volatile write-set over a Session.
+// Use it from the session's goroutine only. Writes buffer locally with
+// read-your-writes; nothing touches the store until Commit. A Txn is
+// single-use: after Commit or Rollback every method fails with ErrTxnDone.
+type Txn struct {
+	ss      *Session
+	ownSess bool
+	fixed   map[uint64]txnWrite
+	kv      map[string]txnKVWrite
+	done    bool
+}
+
+// Begin opens a transaction over this session. The session stays usable
+// for plain operations while the transaction buffers (they see the store,
+// not the write-set), but Commit must not race other operations on the
+// same session — the session's single-goroutine contract already
+// guarantees that.
+func (ss *Session) Begin() *Txn {
+	return &Txn{
+		ss:    ss,
+		fixed: make(map[uint64]txnWrite),
+		kv:    make(map[string]txnKVWrite),
+	}
+}
+
+// Begin opens a transaction on a dedicated internal session, for callers
+// that do not manage Sessions themselves. Commit or Rollback releases the
+// session; abandoning the Txn without either leaks its per-shard latency
+// statistics until the store closes.
+func (s *Store) Begin() *Txn {
+	tx := s.NewSession().Begin()
+	tx.ownSess = true
+	return tx
+}
+
+// finish marks the transaction done and releases an owned session.
+func (tx *Txn) finish() {
+	tx.done = true
+	if tx.ownSess {
+		tx.ss.Close()
+		tx.ownSess = false
+	}
+}
+
+// Put buffers a fixed-width write of val under key.
+func (tx *Txn) Put(key, val uint64) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tx.fixed[key] = txnWrite{val: val}
+	return nil
+}
+
+// Delete buffers a fixed-width delete of key.
+func (tx *Txn) Delete(key uint64) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tx.fixed[key] = txnWrite{del: true}
+	return nil
+}
+
+// Get reads through the write-set: a buffered write or delete answers
+// locally, anything else reads the store (read-committed — concurrent
+// writers are visible).
+func (tx *Txn) Get(key uint64) (uint64, bool, error) {
+	if tx.done {
+		return 0, false, ErrTxnDone
+	}
+	if w, ok := tx.fixed[key]; ok {
+		if w.del {
+			return 0, false, nil
+		}
+		return w.val, true, nil
+	}
+	return tx.ss.Get(key)
+}
+
+// PutKV buffers a byte-key write. Key and value are copied, so the caller
+// may reuse its slices immediately. Size limits match Session.PutKV.
+func (tx *Txn) PutKV(key, val []byte) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if len(val) > MaxKVValue {
+		return fmt.Errorf("%w: %d > %d bytes", ErrValueTooLarge, len(val), MaxKVValue)
+	}
+	tx.kv[string(key)] = txnKVWrite{val: append([]byte(nil), val...)}
+	return nil
+}
+
+// DeleteKV buffers a byte-key delete.
+func (tx *Txn) DeleteKV(key []byte) error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	tx.kv[string(key)] = txnKVWrite{del: true}
+	return nil
+}
+
+// GetKV reads a byte key through the write-set, falling back to the store.
+func (tx *Txn) GetKV(key, dst []byte) ([]byte, bool, error) {
+	if tx.done {
+		return dst, false, ErrTxnDone
+	}
+	if w, ok := tx.kv[string(key)]; ok {
+		if w.del {
+			return dst, false, nil
+		}
+		return append(dst, w.val...), true, nil
+	}
+	return tx.ss.GetKV(key, dst)
+}
+
+// Pending returns the number of buffered writes (deletes included).
+func (tx *Txn) Pending() int { return len(tx.fixed) + len(tx.kv) }
+
+// Rollback discards the write-set. The store is untouched; a finished
+// transaction rolls back as a no-op.
+func (tx *Txn) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.finish()
+}
+
+// Commit atomically applies the write-set, following the redo-log
+// protocol in the package comment above. When it returns nil every write
+// is durable and visible; on any error before the commit point the store
+// is untouched (ErrTxnTooLarge, ErrNoSpace, ErrBucketOverflow, ErrClosed,
+// or a validation error); ErrTxnIncomplete means committed-but-unapplied
+// (reopen to finish). An empty transaction commits as a no-op.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	ss := tx.ss
+	defer tx.finish()
+	if len(tx.fixed)+len(tx.kv) == 0 {
+		return nil
+	}
+	s := ss.s
+	if !s.acquire() {
+		return ErrClosed
+	}
+	if ss.sampleOp() {
+		defer s.met.txnCommit.RecordSince(time.Now())
+	}
+	parts, ops, payloads := tx.plan()
+	staleShards, err := tx.commitLocked(parts, ops, payloads)
+	s.release()
+	for _, i := range staleShards {
+		ss.maybeGC(i)
+	}
+	return err
+}
+
+// plan groups the write-set by shard in deterministic order (fixed keys
+// ascending, then byte keys ascending) and encodes one intent payload per
+// participating shard. parts lists participating shards ascending.
+func (tx *Txn) plan() (parts []int, ops [][]txnOp, payloads [][]byte) {
+	s := tx.ss.s
+	n := len(s.shards)
+	ops = make([][]txnOp, n)
+	payloads = make([][]byte, n)
+	fixedKeys := make([]uint64, 0, len(tx.fixed))
+	for k := range tx.fixed {
+		fixedKeys = append(fixedKeys, k)
+	}
+	sort.Slice(fixedKeys, func(a, b int) bool { return fixedKeys[a] < fixedKeys[b] })
+	for _, k := range fixedKeys {
+		w := tx.fixed[k]
+		i := s.ShardFor(k)
+		op := txnOp{kind: txnOpPut, key: k, val: w.val}
+		if w.del {
+			op = txnOp{kind: txnOpDelete, key: k}
+		}
+		ops[i] = append(ops[i], op)
+	}
+	kvKeys := make([]string, 0, len(tx.kv))
+	for k := range tx.kv {
+		kvKeys = append(kvKeys, k)
+	}
+	sort.Strings(kvKeys)
+	for _, k := range kvKeys {
+		w := tx.kv[k]
+		bk := []byte(k)
+		i := s.ShardForKey(bk)
+		op := txnOp{kind: txnOpPutKV, bkey: bk, bval: w.val}
+		if w.del {
+			op = txnOp{kind: txnOpDelKV, bkey: bk}
+		}
+		ops[i] = append(ops[i], op)
+	}
+	for i := 0; i < n; i++ {
+		if len(ops[i]) == 0 {
+			continue
+		}
+		parts = append(parts, i)
+		for _, op := range ops[i] {
+			payloads[i] = appendTxnOp(payloads[i], op)
+		}
+	}
+	return parts, ops, payloads
+}
+
+// step invokes the consistent-cut test hook, if armed.
+func (s *Store) step() {
+	if s.commitStep != nil {
+		s.commitStep()
+	}
+}
+
+// commitLocked runs the locked portion of Commit and returns the shards
+// whose displaced records turned stale (the caller runs maybeGC after the
+// locks are down). See the protocol comment at the top of the file.
+func (tx *Txn) commitLocked(parts []int, ops [][]txnOp, payloads [][]byte) (staleShards []int, err error) {
+	ss := tx.ss
+	s := ss.s
+	for _, i := range parts {
+		s.shards[i].gc.applyMu.Lock()
+	}
+	defer func() {
+		for _, i := range parts {
+			s.shards[i].gc.applyMu.Unlock()
+		}
+	}()
+
+	// Pre-flight: everything that can refuse must refuse before the
+	// first byte hits a redo log, so failure is a clean abort. With
+	// applyMu held exclusively no other writer can move the projections.
+	for _, i := range parts {
+		tl := s.shards[i].tl
+		if txnlog.RecordSize(len(payloads[i]))+txnlog.RecordSize(0) > tl.Capacity() {
+			return nil, fmt.Errorf("%w: %d bytes of intents for shard %d, log capacity %d",
+				ErrTxnTooLarge, len(payloads[i]), i, tl.Capacity())
+		}
+		if err := ss.admitTxnOps(i, ops[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	id := s.txnSeq.Add(1)
+	// Intents: each append is durable on return, so once the loop
+	// finishes every shard's intent is on stable media — the marks below
+	// can never outrun an intent into a crash image.
+	for n, i := range parts {
+		if aerr := s.shards[i].tl.Append(ss.ths[i], id, txnlog.KindIntent, payloads[i]); aerr != nil {
+			for _, j := range parts[:n] {
+				s.shards[j].tl.Truncate(ss.ths[j])
+			}
+			return nil, fmt.Errorf("store: txn intent append on shard %d: %w", i, aerr)
+		}
+		s.step()
+	}
+	// Commit marks: the first durable mark commits the transaction
+	// everywhere.
+	for n, i := range parts {
+		if aerr := s.shards[i].tl.Append(ss.ths[i], id, txnlog.KindCommit, nil); aerr != nil {
+			if n == 0 {
+				// No mark durable yet: still abortable.
+				for _, j := range parts {
+					s.shards[j].tl.Truncate(ss.ths[j])
+				}
+				return nil, fmt.Errorf("store: txn commit mark on shard %d: %w", i, aerr)
+			}
+			return nil, fmt.Errorf("%w: mark append on shard %d: %v", ErrTxnIncomplete, i, aerr)
+		}
+		s.step()
+	}
+	// Apply through the same paths plain writes use.
+	for _, i := range parts {
+		stale, aerr := ss.applyTxnOps(i, ops[i])
+		if stale {
+			staleShards = append(staleShards, i)
+		}
+		if aerr != nil {
+			return staleShards, fmt.Errorf("%w: apply on shard %d: %v", ErrTxnIncomplete, i, aerr)
+		}
+		s.step()
+	}
+	// The transaction is fully applied; drop the redo records.
+	for _, i := range parts {
+		s.shards[i].tl.Truncate(ss.ths[i])
+		s.step()
+	}
+	return staleShards, nil
+}
+
+// admitTxnOps pre-admits shard i's byte-key rewrites: projected bucket
+// images must fit the record bound, and the value log must admit the
+// projected append volume (with one inline compaction attempt, like
+// admitKV). Projections read the tree advisorily; with applyMu held
+// exclusively only GC can move words, and relocation preserves sizes.
+func (ss *Session) admitTxnOps(i int, ops []txnOp) error {
+	sh := &ss.s.shards[i]
+	th := ss.ths[i]
+	need := 0
+	for _, op := range ops {
+		switch op.kind {
+		case txnOpPutKV:
+			p := PackPrefix(op.bkey)
+			cur := 0
+			if ref, ok := sh.ix.Get(th, p); ok {
+				cur = vlog.Ref(ref).Len()
+			}
+			proj := cur + kvEntryHdr + len(op.bkey) + len(op.bval)
+			if proj > maxBucket {
+				return fmt.Errorf("%w: prefix %#x projected at %d bytes", ErrBucketOverflow, p, proj)
+			}
+			need += proj
+		case txnOpDelKV:
+			// A delete rewrites the bucket minus one entry: bounded by
+			// the current image.
+			if ref, ok := sh.ix.Get(th, PackPrefix(op.bkey)); ok {
+				need += vlog.Ref(ref).Len()
+			}
+		}
+	}
+	if need == 0 {
+		return nil
+	}
+	return ss.admitKV(i, need)
+}
+
+// applyTxnOps applies one shard's decoded ops in order through the plain
+// write paths' inner helpers. The caller either holds the shard's applyMu
+// exclusively (commit) or is the only mutator (recovery replay). Returns
+// whether any displaced record turned stale.
+func (ss *Session) applyTxnOps(i int, ops []txnOp) (stale bool, err error) {
+	sh := &ss.s.shards[i]
+	th := ss.ths[i]
+	for _, op := range ops {
+		switch op.kind {
+		case txnOpPut:
+			old, existed, xerr := index.Exchange(sh.ix, th, op.key, op.val)
+			if xerr != nil {
+				return stale, xerr
+			}
+			if existed && old != op.val && ss.retireWord(i, op.key, old) {
+				stale = true
+			}
+		case txnOpDelete:
+			old, existed := index.Remove(sh.ix, th, op.key)
+			if existed && ss.retireWord(i, op.key, old) {
+				stale = true
+			}
+		case txnOpPutKV:
+			st, perr := ss.putKVApply(i, PackPrefix(op.bkey), op.bkey, op.bval)
+			stale = stale || st
+			if perr != nil {
+				return stale, perr
+			}
+		case txnOpDelKV:
+			_, st, derr := ss.deleteKVApply(i, PackPrefix(op.bkey), op.bkey)
+			stale = stale || st
+			if derr != nil {
+				return stale, derr
+			}
+		}
+	}
+	return stale, nil
+}
+
+// recoverTxns settles the redo logs during Reopen: a commit mark on any
+// shard commits its transaction everywhere, so every committed intent is
+// replayed (in log order, idempotently — intents carry final values) and
+// every unmarked intent is discarded. All logs end truncated. Runs after
+// every shard's index, value log and accounting are rebuilt; replayed
+// writes go through the ordinary apply paths and feed the ordinary
+// accounting.
+func (s *Store) recoverTxns() error {
+	ss := s.NewSession()
+	defer ss.Close()
+	committed := map[uint64]bool{}
+	empty := true
+	for i := range s.shards {
+		s.shards[i].tl.Scan(ss.ths[i], func(r txnlog.Rec) bool {
+			empty = false
+			if r.Kind == txnlog.KindCommit {
+				committed[r.ID] = true
+			}
+			return true
+		})
+	}
+	if empty {
+		return nil
+	}
+	for i := range s.shards {
+		var ops []txnOp
+		var derr error
+		s.shards[i].tl.Scan(ss.ths[i], func(r txnlog.Rec) bool {
+			if r.Kind != txnlog.KindIntent || !committed[r.ID] {
+				return true
+			}
+			decoded, err := decodeTxnOps(r.Payload)
+			if err != nil {
+				derr = err
+				return false
+			}
+			ops = append(ops, decoded...)
+			return true
+		})
+		if derr != nil {
+			return fmt.Errorf("store: shard %d txn recovery: %w", i, derr)
+		}
+		if _, err := ss.applyTxnOps(i, ops); err != nil {
+			return fmt.Errorf("store: shard %d txn replay: %w", i, err)
+		}
+		s.shards[i].tl.Truncate(ss.ths[i])
+	}
+	return nil
+}

@@ -1,0 +1,513 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// Unit coverage for the transaction API: write-set semantics
+// (read-your-writes, last-write-wins), commit visibility and durability
+// across Reopen, rollback, single-use enforcement, size limits, and the
+// intent-payload codec. Crash atomicity lives in txn_crash_test.go.
+
+func TestTxnCommitVisibleAndDurable(t *testing.T) {
+	st, err := Open(Options{Shards: 4, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := st.NewSession()
+
+	// Pre-existing state the transaction overwrites and deletes.
+	if err := ss.Put(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Put(200, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.PutKV([]byte("pre-over"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.PutKV([]byte("pre-del"), []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := ss.Begin()
+	// Spread fixed keys across all shards.
+	for k := uint64(0); k < 64; k++ {
+		if err := tx.Put(1000+k, k*k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Put(100, 11); err != nil { // overwrite
+		t.Fatal(err)
+	}
+	if err := tx.Delete(200); err != nil { // delete existing
+		t.Fatal(err)
+	}
+	if err := tx.Delete(201); err != nil { // delete absent: no-op
+		t.Fatal(err)
+	}
+	if err := tx.PutKV([]byte("txn-new"), bytes.Repeat([]byte{0x5a}, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.PutKV([]byte("pre-over"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.DeleteKV([]byte("pre-del")); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Pending(); got != 64+3+3 {
+		t.Fatalf("Pending = %d, want %d", got, 64+3+3)
+	}
+
+	// Nothing visible before commit.
+	if _, ok, _ := ss.Get(1000); ok {
+		t.Fatal("buffered write visible before commit")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	check := func(ss *Session, tag string) {
+		t.Helper()
+		for k := uint64(0); k < 64; k++ {
+			v, ok, err := ss.Get(1000 + k)
+			if err != nil || !ok || v != k*k {
+				t.Fatalf("%s: key %d: v=%d ok=%v err=%v", tag, 1000+k, v, ok, err)
+			}
+		}
+		if v, ok, _ := ss.Get(100); !ok || v != 11 {
+			t.Fatalf("%s: overwrite lost (v=%d ok=%v)", tag, v, ok)
+		}
+		if _, ok, _ := ss.Get(200); ok {
+			t.Fatalf("%s: deleted key still present", tag)
+		}
+		if v, ok, _ := ss.GetKV([]byte("txn-new"), nil); !ok || !bytes.Equal(v, bytes.Repeat([]byte{0x5a}, 500)) {
+			t.Fatalf("%s: txn-new wrong (ok=%v len=%d)", tag, ok, len(v))
+		}
+		if v, ok, _ := ss.GetKV([]byte("pre-over"), nil); !ok || string(v) != "new" {
+			t.Fatalf("%s: pre-over = %q ok=%v", tag, v, ok)
+		}
+		if _, ok, _ := ss.GetKV([]byte("pre-del"), nil); ok {
+			t.Fatalf("%s: pre-del survived its delete", tag)
+		}
+	}
+	check(ss, "after commit")
+	ss.Close()
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Reopen(st.Pools(), Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rs := re.NewSession()
+	check(rs, "after reopen")
+	rs.Close()
+	re.Close()
+}
+
+func TestTxnRollbackAndSingleUse(t *testing.T) {
+	st, err := Open(Options{Shards: 1, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ss := st.NewSession()
+	defer ss.Close()
+
+	tx := ss.Begin()
+	if err := tx.Put(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.PutKV([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	if _, ok, _ := ss.Get(1); ok {
+		t.Fatal("rolled-back write reached the store")
+	}
+	if _, ok, _ := ss.GetKV([]byte("k"), nil); ok {
+		t.Fatal("rolled-back byte-key write reached the store")
+	}
+	// Every method on a finished transaction fails with ErrTxnDone.
+	if err := tx.Put(2, 2); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Put after rollback: %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Commit after rollback: %v", err)
+	}
+	if _, _, err := tx.Get(1); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("Get after rollback: %v", err)
+	}
+	tx.Rollback() // double rollback is a no-op
+
+	tx2 := ss.Begin()
+	if err := tx2.Commit(); err != nil { // empty commit: no-op
+		t.Fatalf("empty commit: %v", err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("second commit: %v", err)
+	}
+}
+
+func TestTxnReadYourWrites(t *testing.T) {
+	st, err := Open(Options{Shards: 2, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ss := st.NewSession()
+	defer ss.Close()
+	if err := ss.Put(7, 70); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.PutKV([]byte("base"), []byte("store")); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := ss.Begin()
+	defer tx.Rollback()
+	// Fall-through to the store for unbuffered keys.
+	if v, ok, err := tx.Get(7); err != nil || !ok || v != 70 {
+		t.Fatalf("fall-through Get: v=%d ok=%v err=%v", v, ok, err)
+	}
+	if v, ok, err := tx.GetKV([]byte("base"), nil); err != nil || !ok || string(v) != "store" {
+		t.Fatalf("fall-through GetKV: %q ok=%v err=%v", v, ok, err)
+	}
+	// Buffered writes shadow the store; buffered deletes hide it.
+	if err := tx.Put(7, 71); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := tx.Get(7); !ok || v != 71 {
+		t.Fatalf("buffered Get: v=%d ok=%v", v, ok)
+	}
+	if err := tx.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tx.Get(7); ok {
+		t.Fatal("buffered delete not visible to Get")
+	}
+	if err := tx.PutKV([]byte("base"), []byte("txn")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := tx.GetKV([]byte("base"), nil); !ok || string(v) != "txn" {
+		t.Fatalf("buffered GetKV: %q ok=%v", v, ok)
+	}
+	if err := tx.DeleteKV([]byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tx.GetKV([]byte("base"), nil); ok {
+		t.Fatal("buffered byte-key delete not visible")
+	}
+	// Last write wins: the delete above is the final buffered state, and
+	// the store still holds the original until commit.
+	if v, ok, _ := ss.Get(7); !ok || v != 70 {
+		t.Fatalf("store mutated before commit: v=%d ok=%v", v, ok)
+	}
+}
+
+func TestTxnLastWriteWinsAfterCommit(t *testing.T) {
+	st, err := Open(Options{Shards: 2, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ss := st.NewSession()
+	defer ss.Close()
+
+	tx := ss.Begin()
+	for i := 0; i < 5; i++ { // repeated overwrites collapse to the last
+		if err := tx.Put(42, uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Delete(43); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(43, 430); err != nil { // delete then put: put wins
+		t.Fatal(err)
+	}
+	if err := tx.PutKV([]byte("flip"), []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.DeleteKV([]byte("flip")); err != nil { // put then delete: delete wins
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := ss.Get(42); !ok || v != 4 {
+		t.Fatalf("key 42: v=%d ok=%v, want 4", v, ok)
+	}
+	if v, ok, _ := ss.Get(43); !ok || v != 430 {
+		t.Fatalf("key 43: v=%d ok=%v, want 430", v, ok)
+	}
+	if _, ok, _ := ss.GetKV([]byte("flip"), nil); ok {
+		t.Fatal("flip should have ended deleted")
+	}
+}
+
+func TestTxnTooLarge(t *testing.T) {
+	// A deliberately tiny redo log: one 4KiB-payload op cannot fit a
+	// 1KiB log, and the pre-flight must refuse before writing anything.
+	st, err := Open(Options{Shards: 1, ShardSize: 8 << 20, TxnLogCap: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ss := st.NewSession()
+	defer ss.Close()
+
+	tx := ss.Begin()
+	if err := tx.PutKV([]byte("big"), bytes.Repeat([]byte{1}, 4<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnTooLarge) {
+		t.Fatalf("commit: %v, want ErrTxnTooLarge", err)
+	}
+	// Clean abort: the store is untouched and fully usable.
+	if _, ok, _ := ss.GetKV([]byte("big"), nil); ok {
+		t.Fatal("aborted write visible")
+	}
+	tx2 := ss.Begin()
+	if err := tx2.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("small txn after abort: %v", err)
+	}
+	if v, ok, _ := ss.Get(1); !ok || v != 1 {
+		t.Fatalf("post-abort commit lost: v=%d ok=%v", v, ok)
+	}
+}
+
+func TestTxnBufferValidation(t *testing.T) {
+	st, err := Open(Options{Shards: 1, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ss := st.NewSession()
+	defer ss.Close()
+	tx := ss.Begin()
+	defer tx.Rollback()
+
+	if err := tx.PutKV(nil, []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := tx.PutKV(bytes.Repeat([]byte{1}, MaxKey+1), []byte("v")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if err := tx.PutKV([]byte("k"), make([]byte, MaxKVValue+1)); !errors.Is(err, ErrValueTooLarge) {
+		t.Fatalf("oversized value: %v", err)
+	}
+	if err := tx.DeleteKV(nil); err == nil {
+		t.Fatal("empty delete key accepted")
+	}
+	// The caller's slices are copied at buffer time.
+	k, v := []byte("mut"), []byte("val-1")
+	if err := tx.PutKV(k, v); err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 'X'
+	if got, ok, _ := tx.GetKV([]byte("mut"), nil); !ok || string(got) != "val-1" {
+		t.Fatalf("buffered value aliased caller slice: %q ok=%v", got, ok)
+	}
+}
+
+func TestStoreBeginOwnsSession(t *testing.T) {
+	st, err := Open(Options{Shards: 2, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	tx := st.Begin()
+	if err := tx.Put(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.PutKV([]byte("own"), []byte("session")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := st.Begin()
+	tx2.Rollback()
+
+	ss := st.NewSession()
+	defer ss.Close()
+	if v, ok, _ := ss.Get(5); !ok || v != 50 {
+		t.Fatalf("Store.Begin commit lost: v=%d ok=%v", v, ok)
+	}
+	if v, ok, _ := ss.GetKV([]byte("own"), nil); !ok || string(v) != "session" {
+		t.Fatalf("Store.Begin byte-key commit lost: %q ok=%v", v, ok)
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxnCommitOnClosedStore(t *testing.T) {
+	st, err := Open(Options{Shards: 1, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := st.NewSession()
+	tx := ss.Begin()
+	if err := tx.Put(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	ss.Close()
+	st.Close()
+	if err := tx.Commit(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("commit on closed store: %v, want ErrClosed", err)
+	}
+}
+
+// TestTxnPayloadCodecRoundTrip drives the intent codec over a mixed op
+// sequence and checks an exact decoded round-trip.
+func TestTxnPayloadCodecRoundTrip(t *testing.T) {
+	ops := []txnOp{
+		{kind: txnOpPut, key: 0, val: ^uint64(0)},
+		{kind: txnOpDelete, key: 1<<60 | 7},
+		{kind: txnOpPutKV, bkey: []byte("k"), bval: nil},
+		{kind: txnOpPutKV, bkey: bytes.Repeat([]byte{0xee}, MaxKey), bval: bytes.Repeat([]byte{9}, 3000)},
+		{kind: txnOpDelKV, bkey: []byte("gone")},
+	}
+	var payload []byte
+	for _, op := range ops {
+		payload = appendTxnOp(payload, op)
+	}
+	got, err := decodeTxnOps(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i, op := range ops {
+		g := got[i]
+		if g.kind != op.kind || g.key != op.key || g.val != op.val ||
+			!bytes.Equal(g.bkey, op.bkey) || !bytes.Equal(g.bval, op.bval) {
+			t.Fatalf("op %d: got %+v want %+v", i, g, op)
+		}
+	}
+	// Fail-closed: truncation at any interior byte must error, never
+	// yield a partial parse that silently drops ops.
+	for cut := 1; cut < len(payload); cut++ {
+		if _, err := decodeTxnOps(payload[:cut]); err == nil {
+			// A cut can only be valid if it falls exactly on an op
+			// boundary; verify it decodes a strict prefix in that case.
+			dec, _ := decodeTxnOps(payload[:cut])
+			if len(dec) >= len(ops) {
+				t.Fatalf("cut %d: over-decoded", cut)
+			}
+		}
+	}
+}
+
+// FuzzTxnLogRecord fuzzes the fail-closed intent-payload parser (the
+// bytes recovery reads back out of the redo log). Any input must either
+// decode cleanly — in which case re-encoding the decoded ops must
+// reproduce the input exactly — or error without panicking; decoded ops
+// must always satisfy the documented caps.
+func FuzzTxnLogRecord(f *testing.F) {
+	var seed []byte
+	seed = appendTxnOp(seed, txnOp{kind: txnOpPut, key: 77, val: 777})
+	seed = appendTxnOp(seed, txnOp{kind: txnOpDelete, key: 78})
+	seed = appendTxnOp(seed, txnOp{kind: txnOpPutKV, bkey: []byte("fuzz-key"), bval: []byte("fuzz-val")})
+	seed = appendTxnOp(seed, txnOp{kind: txnOpDelKV, bkey: []byte("fuzz-del")})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{txnOpPut})
+	f.Add([]byte{txnOpPutKV, 0xff, 0xff, 0, 0, 0, 0})
+	f.Add([]byte{5, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops, err := decodeTxnOps(data)
+		if err != nil {
+			return
+		}
+		var re []byte
+		for _, op := range ops {
+			switch op.kind {
+			case txnOpPut, txnOpDelete:
+			case txnOpPutKV:
+				if len(op.bkey) < 1 || len(op.bkey) > MaxKey || len(op.bval) > MaxKVValue {
+					t.Fatalf("decoded put-kv violates caps: klen=%d vlen=%d", len(op.bkey), len(op.bval))
+				}
+			case txnOpDelKV:
+				if len(op.bkey) < 1 || len(op.bkey) > MaxKey {
+					t.Fatalf("decoded del-kv violates caps: klen=%d", len(op.bkey))
+				}
+			default:
+				t.Fatalf("decoded unknown kind %d", op.kind)
+			}
+			re = appendTxnOp(re, op)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input does not round-trip: %d in, %d out", len(data), len(re))
+		}
+	})
+}
+
+// TestTxnReopenAfterManyCommits interleaves transactions with plain
+// writes and reopens, checking the final state — the txn sequence counter
+// restarting from zero across Reopen must be harmless because every log
+// is truncated during recovery.
+func TestTxnReopenAfterManyCommits(t *testing.T) {
+	st, err := Open(Options{Shards: 3, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]uint64{}
+	for round := 0; round < 3; round++ {
+		ss := st.NewSession()
+		for i := 0; i < 4; i++ {
+			tx := ss.Begin()
+			for j := 0; j < 10; j++ {
+				k := uint64(round*1000 + i*100 + j)
+				if err := tx.Put(k, k*3); err != nil {
+					t.Fatal(err)
+				}
+				want[k] = k * 3
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("round %d txn %d: %v", round, i, err)
+			}
+		}
+		if err := ss.Put(uint64(90000+round), 1); err != nil {
+			t.Fatal(err)
+		}
+		want[uint64(90000+round)] = 1
+		ss.Close()
+		re, err := Reopen(st.Pools(), Options{})
+		if err != nil {
+			t.Fatalf("round %d reopen: %v", round, err)
+		}
+		st = re
+	}
+	ss := st.NewSession()
+	for k, v := range want {
+		got, ok, err := ss.Get(k)
+		if err != nil || !ok || got != v {
+			t.Fatalf("key %d: got=%d ok=%v err=%v want %d", k, got, ok, err, v)
+		}
+	}
+	n, err := ss.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != len(want) {
+		t.Fatalf("Len = %d, want %d", n, len(want))
+	}
+	ss.Close()
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+}

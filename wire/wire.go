@@ -59,7 +59,36 @@ const (
 	OpPutK
 	OpDeleteK
 	OpScanK
+	// OpTxn (protocol revision 4) commits a multi-key transaction: the
+	// request carries the whole buffered write-set — fixed-width and
+	// byte-string keyed puts and deletes — and the server applies it
+	// atomically (all-or-nothing across crashes) or not at all. A
+	// StatusOK response carries no payload.
+	OpTxn
 )
+
+// The TxnOp kinds. They mirror the four write-set operations a
+// transaction can buffer.
+const (
+	TxnPut     uint8 = 1 // fixed-width put: Key, Val
+	TxnDelete  uint8 = 2 // fixed-width delete: Key
+	TxnPutK    uint8 = 3 // byte-key put: KKey (1..MaxKey), VVal (<= MaxKValue)
+	TxnDeleteK uint8 = 4 // byte-key delete: KKey (1..MaxKey)
+)
+
+// MaxTxnOps caps the operations one OpTxn frame may carry. Alongside the
+// per-op size caps it keeps worst-case server-side work per frame
+// bounded; the byte-size budget is enforced separately against MaxFrame.
+const MaxTxnOps = 1024
+
+// TxnOp is one operation of an OpTxn write-set.
+type TxnOp struct {
+	Kind uint8
+	Key  uint64 // TxnPut, TxnDelete
+	Val  uint64 // TxnPut
+	KKey []byte // TxnPutK, TxnDeleteK
+	VVal []byte // TxnPutK
+}
 
 func (op Op) String() string {
 	switch op {
@@ -89,6 +118,8 @@ func (op Op) String() string {
 		return "DeleteK"
 	case OpScanK:
 		return "ScanK"
+	case OpTxn:
+		return "Txn"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(op))
 	}
@@ -201,6 +232,9 @@ type Request struct {
 	// MaxScanBound bytes each, so a cursor can name a max-sized key's
 	// immediate successor.
 	KLo, KHi []byte
+	// TxnOps is an OpTxn write-set: at most MaxTxnOps operations whose
+	// encoding fits one frame.
+	TxnOps []TxnOp
 }
 
 // Response is a decoded response frame. Fields beyond ID, Op and Status are
@@ -344,6 +378,38 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		if len(r.KLo) > MaxScanBound || len(r.KHi) > MaxScanBound {
 			return dst, fmt.Errorf("%w: ScanK bound exceeds %d bytes", ErrMalformed, MaxScanBound)
 		}
+	case OpTxn:
+		if len(r.TxnOps) > MaxTxnOps {
+			return dst, fmt.Errorf("%w: %d txn ops > %d", ErrTooManyKV, len(r.TxnOps), MaxTxnOps)
+		}
+		body := reqHeader + 4
+		for i := range r.TxnOps {
+			op := &r.TxnOps[i]
+			switch op.Kind {
+			case TxnPut:
+				body += 1 + 16
+			case TxnDelete:
+				body += 1 + 8
+			case TxnPutK:
+				if len(op.KKey) < 1 || len(op.KKey) > MaxKey {
+					return dst, fmt.Errorf("%w: txn op %d key %d bytes, want 1..%d", ErrMalformed, i, len(op.KKey), MaxKey)
+				}
+				if len(op.VVal) > MaxKValue {
+					return dst, fmt.Errorf("%w: txn op %d value %d > %d bytes", ErrFrameTooBig, i, len(op.VVal), MaxKValue)
+				}
+				body += 1 + 6 + len(op.KKey) + len(op.VVal)
+			case TxnDeleteK:
+				if len(op.KKey) < 1 || len(op.KKey) > MaxKey {
+					return dst, fmt.Errorf("%w: txn op %d key %d bytes, want 1..%d", ErrMalformed, i, len(op.KKey), MaxKey)
+				}
+				body += 1 + 2 + len(op.KKey)
+			default:
+				return dst, fmt.Errorf("%w: txn op %d has unknown kind %d", ErrMalformed, i, op.Kind)
+			}
+		}
+		if body > MaxFrame {
+			return dst, fmt.Errorf("%w: txn frame %d > %d bytes", ErrFrameTooBig, body, MaxFrame)
+		}
 	}
 	lenAt := len(dst)
 	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
@@ -387,6 +453,27 @@ func AppendRequest(dst []byte, r *Request) ([]byte, error) {
 		dst = be.AppendUint16(dst, uint16(len(r.KHi)))
 		dst = append(dst, r.KHi...)
 		dst = be.AppendUint32(dst, r.Max)
+	case OpTxn:
+		dst = be.AppendUint32(dst, uint32(len(r.TxnOps)))
+		for i := range r.TxnOps {
+			op := &r.TxnOps[i]
+			dst = append(dst, op.Kind)
+			switch op.Kind {
+			case TxnPut:
+				dst = be.AppendUint64(dst, op.Key)
+				dst = be.AppendUint64(dst, op.Val)
+			case TxnDelete:
+				dst = be.AppendUint64(dst, op.Key)
+			case TxnPutK:
+				dst = be.AppendUint16(dst, uint16(len(op.KKey)))
+				dst = be.AppendUint32(dst, uint32(len(op.VVal)))
+				dst = append(dst, op.KKey...)
+				dst = append(dst, op.VVal...)
+			case TxnDeleteK:
+				dst = be.AppendUint16(dst, uint16(len(op.KKey)))
+				dst = append(dst, op.KKey...)
+			}
+		}
 	default:
 		return dst[:lenAt], fmt.Errorf("wire: cannot encode unknown opcode %d", r.Op)
 	}
@@ -522,6 +609,111 @@ func DecodeRequest(body []byte) (Request, error) {
 			}
 		}
 		r.Max = be.Uint32(q[2+hil:])
+	case OpTxn:
+		if len(p) < 4 {
+			return r, malformed("Txn payload %d bytes, want >= 4", len(p))
+		}
+		// Mirror the encoder's frame budget so the accepted language stays
+		// exactly the encodable one even when bodies bypass ReadFrame.
+		if len(body) > MaxFrame {
+			return r, malformed("Txn body %d bytes exceeds MaxFrame %d", len(body), MaxFrame)
+		}
+		n := be.Uint32(p)
+		p = p[4:]
+		if n > MaxTxnOps {
+			return r, malformed("Txn count %d exceeds MaxTxnOps %d", n, MaxTxnOps)
+		}
+		// Two passes, like ScanK: validate every op against the bytes
+		// actually present before allocating, then slice one shared arena
+		// for all byte keys and values.
+		total, q := 0, p
+		for i := uint32(0); i < n; i++ {
+			if len(q) < 1 {
+				return r, malformed("Txn op %d truncated", i)
+			}
+			kind := q[0]
+			q = q[1:]
+			switch kind {
+			case TxnPut:
+				if len(q) < 16 {
+					return r, malformed("Txn put op %d truncated", i)
+				}
+				q = q[16:]
+			case TxnDelete:
+				if len(q) < 8 {
+					return r, malformed("Txn delete op %d truncated", i)
+				}
+				q = q[8:]
+			case TxnPutK:
+				if len(q) < 6 {
+					return r, malformed("Txn put-k op %d truncated", i)
+				}
+				kl := int(be.Uint16(q))
+				vl := int(be.Uint32(q[2:]))
+				if kl < 1 || kl > MaxKey {
+					return r, malformed("Txn op %d key %d bytes, want 1..%d", i, kl, MaxKey)
+				}
+				if vl > MaxKValue {
+					return r, malformed("Txn op %d value %d bytes exceeds MaxKValue %d", i, vl, MaxKValue)
+				}
+				if len(q)-6 < kl+vl {
+					return r, malformed("Txn op %d claims %d bytes, %d left", i, kl+vl, len(q)-6)
+				}
+				total += kl + vl
+				q = q[6+kl+vl:]
+			case TxnDeleteK:
+				if len(q) < 2 {
+					return r, malformed("Txn delete-k op %d truncated", i)
+				}
+				kl := int(be.Uint16(q))
+				if kl < 1 || kl > MaxKey {
+					return r, malformed("Txn op %d key %d bytes, want 1..%d", i, kl, MaxKey)
+				}
+				if len(q)-2 < kl {
+					return r, malformed("Txn op %d claims %d key bytes, %d left", i, kl, len(q)-2)
+				}
+				total += kl
+				q = q[2+kl:]
+			default:
+				return r, malformed("Txn op %d has unknown kind %d", i, kind)
+			}
+		}
+		if len(q) != 0 {
+			return r, malformed("Txn payload has %d trailing bytes", len(q))
+		}
+		arena := make([]byte, 0, total)
+		ops := make([]TxnOp, n)
+		for i := range ops {
+			kind := p[0]
+			p = p[1:]
+			ops[i].Kind = kind
+			switch kind {
+			case TxnPut:
+				ops[i].Key = be.Uint64(p)
+				ops[i].Val = be.Uint64(p[8:])
+				p = p[16:]
+			case TxnDelete:
+				ops[i].Key = be.Uint64(p)
+				p = p[8:]
+			case TxnPutK:
+				kl := int(be.Uint16(p))
+				vl := int(be.Uint32(p[2:]))
+				start := len(arena)
+				arena = append(arena, p[6:6+kl+vl]...)
+				ops[i].KKey = arena[start : start+kl : start+kl]
+				if vl > 0 {
+					ops[i].VVal = arena[start+kl : len(arena) : len(arena)]
+				}
+				p = p[6+kl+vl:]
+			case TxnDeleteK:
+				kl := int(be.Uint16(p))
+				start := len(arena)
+				arena = append(arena, p[2:2+kl]...)
+				ops[i].KKey = arena[start:len(arena):len(arena)]
+				p = p[2+kl:]
+			}
+		}
+		r.TxnOps = ops
 	default:
 		return r, malformed("unknown opcode %d", uint8(r.Op))
 	}
@@ -607,7 +799,7 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 				dst = append(dst, r.KPairs[i].Key...)
 				dst = append(dst, r.KPairs[i].Val...)
 			}
-		case OpPut, OpDelete, OpPutBatch, OpPutV, OpPutK, OpDeleteK:
+		case OpPut, OpDelete, OpPutBatch, OpPutV, OpPutK, OpDeleteK, OpTxn:
 		default:
 			return dst[:lenAt], fmt.Errorf("wire: cannot encode unknown opcode %d", r.Op)
 		}
@@ -692,7 +884,7 @@ func DecodeResponse(body []byte) (Response, error) {
 			return r, malformed("GetV value %d bytes exceeds MaxValue %d", len(p), MaxValue)
 		}
 		r.VVal = append([]byte(nil), p...)
-	case OpPutV, OpPutK, OpDeleteK:
+	case OpPutV, OpPutK, OpDeleteK, OpTxn:
 		if len(p) != 0 {
 			return r, malformed("%s response payload %d bytes, want 0", r.Op, len(p))
 		}

@@ -34,7 +34,25 @@ func requestCases() []Request {
 		{ID: 25, Op: OpScanK, KLo: []byte("collide-"), KHi: []byte("collide-\xff"), Max: 100},
 		{ID: 26, Op: OpScanK, Max: 0},
 		{ID: 27, Op: OpScanK, KLo: append(bytes.Repeat([]byte{0xff}, MaxKey), 0x00), Max: 1},
+		// Txn commits (revision 4): mixed write-sets, including an empty
+		// byte-key value and a max-sized key.
+		{ID: 30, Op: OpTxn, TxnOps: []TxnOp{
+			{Kind: TxnPut, Key: 42, Val: ^uint64(0)},
+			{Kind: TxnDelete, Key: 7},
+			{Kind: TxnPutK, KKey: []byte("collide-a"), VVal: []byte("txn value")},
+			{Kind: TxnPutK, KKey: []byte("collide-b")},
+			{Kind: TxnDeleteK, KKey: bytes.Repeat([]byte{0xfe}, MaxKey)},
+		}},
+		{ID: 31, Op: OpTxn, TxnOps: []TxnOp{{Kind: TxnPut, Key: 1, Val: 2}}},
 	}
+}
+
+// normTxnOps makes nil and empty op slices compare equal.
+func normTxnOps(p []TxnOp) []TxnOp {
+	if len(p) == 0 {
+		return nil
+	}
+	return p
 }
 
 func responseCases() []Response {
@@ -79,6 +97,10 @@ func responseCases() []Response {
 		}},
 		{ID: 25, Op: OpScanK, Status: StatusOK, KPairs: []KKV{}},
 		{ID: 26, Op: OpGetK, Status: StatusErr, Msg: "store: prefix does not hold a byte-key bucket"},
+		// Txn commits (revision 4).
+		{ID: 30, Op: OpTxn, Status: StatusOK},
+		{ID: 31, Op: OpTxn, Status: StatusErr, Msg: "store: transaction exceeds redo-log capacity"},
+		{ID: 32, Op: OpTxn, Status: StatusNoSpace, Msg: "store: value log out of space"},
 	}
 }
 
@@ -114,6 +136,7 @@ func TestRequestRoundTrip(t *testing.T) {
 			t.Fatalf("%v: decode: %v", want.Op, err)
 		}
 		got.Pairs, want.Pairs = normPairs(got.Pairs), normPairs(want.Pairs)
+		got.TxnOps, want.TxnOps = normTxnOps(got.TxnOps), normTxnOps(want.TxnOps)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("round trip: got %+v, want %+v", got, want)
 		}
@@ -254,6 +277,14 @@ func TestDecodeRequestRejectsGarbage(t *testing.T) {
 		{"scank missing hi", append(make([]byte, 8), byte(OpScanK), 0, 1, 'a')},
 		{"scank missing max", append(make([]byte, 8), byte(OpScanK), 0, 0, 0, 0)},
 		{"scank trailing bytes", append(make([]byte, 8), byte(OpScanK), 0, 0, 0, 0, 0, 0, 0, 1, 9)},
+		{"txn short count", append(make([]byte, 8), byte(OpTxn), 0, 0)},
+		{"txn count lies", append(make([]byte, 8), byte(OpTxn), 0, 0, 0, 3)},
+		{"txn unknown kind", append(make([]byte, 8), byte(OpTxn), 0, 0, 0, 1, 9)},
+		{"txn put truncated", append(make([]byte, 8), byte(OpTxn), 0, 0, 0, 1, TxnPut, 1, 2)},
+		{"txn putk zero-length key", append(make([]byte, 8), byte(OpTxn), 0, 0, 0, 1, TxnPutK, 0, 0, 0, 0, 0, 0)},
+		{"txn putk key lies", append(make([]byte, 8), byte(OpTxn), 0, 0, 0, 1, TxnPutK, 0, 5, 0, 0, 0, 0, 'a')},
+		{"txn deletek oversized klen", append(make([]byte, 8), byte(OpTxn), 0, 0, 0, 1, TxnDeleteK, 0xff, 0xff)},
+		{"txn trailing bytes", append(make([]byte, 8), byte(OpTxn), 0, 0, 0, 1, TxnDelete, 0, 0, 0, 0, 0, 0, 0, 1, 9)},
 	}
 	for _, tc := range cases {
 		if _, err := DecodeRequest(tc.body); !errors.Is(err, ErrMalformed) {
@@ -288,6 +319,65 @@ func TestBatchTooLarge(t *testing.T) {
 	}
 	if _, err := DecodeRequest(over); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("decode of %d-pair batch: %v, want ErrMalformed", MaxPairs+1, err)
+	}
+}
+
+// TestTxnLimits pins the revision-4 transaction caps on both sides: the
+// op-count cap, the per-op key/value caps, and the whole-frame byte
+// budget (many mid-sized values can overflow MaxFrame without any single
+// op being oversized).
+func TestTxnLimits(t *testing.T) {
+	over := Request{Op: OpTxn, TxnOps: make([]TxnOp, MaxTxnOps+1)}
+	for i := range over.TxnOps {
+		over.TxnOps[i] = TxnOp{Kind: TxnPut, Key: uint64(i)}
+	}
+	if _, err := AppendRequest(nil, &over); !errors.Is(err, ErrTooManyKV) {
+		t.Fatalf("encode %d ops: %v, want ErrTooManyKV", MaxTxnOps+1, err)
+	}
+	badKey := Request{Op: OpTxn, TxnOps: []TxnOp{{Kind: TxnPutK}}}
+	if _, err := AppendRequest(nil, &badKey); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("encode empty txn key: %v, want ErrMalformed", err)
+	}
+	badVal := Request{Op: OpTxn, TxnOps: []TxnOp{
+		{Kind: TxnPutK, KKey: []byte("k"), VVal: make([]byte, MaxKValue+1)}}}
+	if _, err := AppendRequest(nil, &badVal); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("encode oversized txn value: %v, want ErrFrameTooBig", err)
+	}
+	badKind := Request{Op: OpTxn, TxnOps: []TxnOp{{Kind: 77}}}
+	if _, err := AppendRequest(nil, &badKind); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("encode unknown txn kind: %v, want ErrMalformed", err)
+	}
+	// 64 ops of 64KiB values: each individually legal, 4MiB in total.
+	fat := Request{Op: OpTxn}
+	for i := 0; i < 64; i++ {
+		fat.TxnOps = append(fat.TxnOps, TxnOp{
+			Kind: TxnPutK,
+			KKey: []byte{byte(i), 1},
+			VVal: make([]byte, 64<<10),
+		})
+	}
+	if _, err := AppendRequest(nil, &fat); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("encode over-budget txn: %v, want ErrFrameTooBig", err)
+	}
+	// A max-count txn of fixed-width ops fits comfortably.
+	full := Request{ID: 9, Op: OpTxn, TxnOps: make([]TxnOp, MaxTxnOps)}
+	for i := range full.TxnOps {
+		full.TxnOps[i] = TxnOp{Kind: TxnPut, Key: uint64(i), Val: uint64(i) * 3}
+	}
+	frame, err := AppendRequest(nil, &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := ReadFrame(bytes.NewReader(frame), MaxFrame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.TxnOps) != MaxTxnOps || got.TxnOps[500].Val != 1500 {
+		t.Fatalf("max-count txn mangled: %d ops", len(got.TxnOps))
 	}
 }
 
