@@ -279,6 +279,8 @@ func (c *Conn) readLoop() {
 			call.Err = fmt.Errorf("%w: %s", ErrBusy, resp.Msg)
 		case wire.StatusNoSpace:
 			call.Err = fmt.Errorf("%w: %s", ErrNoSpace, resp.Msg)
+		case wire.StatusTxnIncomplete:
+			call.Err = fmt.Errorf("%w: %s", ErrTxnIncomplete, resp.Msg)
 		}
 		if call.timer != nil {
 			call.timer.Stop()

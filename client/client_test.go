@@ -78,6 +78,32 @@ func TestStoreClosedSurfaces(t *testing.T) {
 	}
 }
 
+// TestTxnIncompleteSurfaces: StatusTxnIncomplete maps to the dedicated
+// ErrTxnIncomplete sentinel — never a generic *RemoteError, and never
+// retryable: the transaction is already committed server-side, so a
+// reissue would double-apply it.
+func TestTxnIncompleteSurfaces(t *testing.T) {
+	addr := fakeServer(t, echoStatus(wire.StatusTxnIncomplete, "store: committed transaction applied incompletely"))
+	c, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var tx Txn
+	tx.Put(1, 2)
+	err = c.CommitTxn(&tx)
+	if !errors.Is(err, ErrTxnIncomplete) {
+		t.Fatalf("err = %v, want ErrTxnIncomplete", err)
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		t.Fatalf("ErrTxnIncomplete degraded to RemoteError: %v", err)
+	}
+	if Retryable(err) {
+		t.Fatal("committed-but-unapplied transaction classified retryable")
+	}
+}
+
 // TestAbruptDisconnectFailsPending: when the server dies mid-pipeline,
 // every outstanding Call completes with the transport error instead of
 // hanging.

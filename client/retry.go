@@ -28,6 +28,14 @@ var (
 	// The connection survives; the call's outcome on the server is
 	// unknown.
 	ErrCallTimeout = errors.New("client: call timed out")
+	// ErrTxnIncomplete reports wire.StatusTxnIncomplete: a CommitTxn
+	// crossed its durable commit point on the server but failed while
+	// applying. The transaction IS committed — the server's store replays
+	// it to completion when it reopens — but its writes may not be
+	// visible until then, and the store refuses further writes in the
+	// meantime. Never retry it: reissuing a committed write-set would
+	// double-apply.
+	ErrTxnIncomplete = errors.New("client: transaction committed but not yet applied; server store requires reopen")
 )
 
 // Retryable reports whether err is worth retrying — on a backoff for
@@ -45,6 +53,9 @@ var (
 //   - ErrNoSpace, ErrStoreClosed, *RemoteError: no. These are the server
 //     answering clearly; asking again changes nothing until an operator,
 //     GC, or the application (deletes) intervenes.
+//   - ErrTxnIncomplete: no, emphatically. The transaction is already
+//     committed server-side and will apply at the next reopen; a retry
+//     would queue the same write-set twice.
 func Retryable(err error) bool {
 	if err == nil {
 		return false
@@ -52,7 +63,7 @@ func Retryable(err error) bool {
 	switch {
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrCallTimeout), errors.Is(err, ErrConnClosed):
 		return true
-	case errors.Is(err, ErrNoSpace), errors.Is(err, ErrStoreClosed):
+	case errors.Is(err, ErrNoSpace), errors.Is(err, ErrStoreClosed), errors.Is(err, ErrTxnIncomplete):
 		return false
 	}
 	var re *RemoteError

@@ -71,9 +71,13 @@ func (c *Conn) CommitTxnAsync(tx *Txn) *Call {
 // CommitTxn commits tx's write-set atomically on the server: when it
 // returns nil every operation is applied and durable; on a server-side
 // refusal (*RemoteError — over-capacity write-set, out of space, store
-// closed) none are. A transport failure leaves the outcome unknown, like
-// any other write. An empty transaction commits as a no-op without
-// touching the connection.
+// closed) none are. The one exception is ErrTxnIncomplete: the commit
+// crossed its durable commit point but failed to finish applying, so the
+// transaction IS committed — the server replays it to completion when its
+// store reopens — just not yet visible. Treat it as success that must not
+// be reissued, not as a refusal. A transport failure leaves the outcome
+// unknown, like any other write. An empty transaction commits as a no-op
+// without touching the connection.
 func (c *Conn) CommitTxn(tx *Txn) error {
 	if tx.Len() == 0 {
 		return nil
@@ -93,5 +97,6 @@ func (c *Conn) CommitTxnContext(ctx context.Context, tx *Txn) error {
 
 // CommitTxn round-robins a transaction commit. Like every write, commits
 // are never auto-retried: a transport failure leaves the outcome
-// unknown, and retrying could apply the transaction twice.
+// unknown, an ErrTxnIncomplete outcome is already committed, and
+// retrying either could apply the transaction twice.
 func (p *Pool) CommitTxn(tx *Txn) error { return p.Conn().CommitTxn(tx) }

@@ -519,7 +519,10 @@ func (c *conn) executeOne(ss *store.Session, req *wire.Request, t0 int64, wid in
 
 // serve executes one request against the given session and shapes the
 // response. Store-level failures become StatusErr; a closed store (the
-// server lost a race with Store.Close) becomes StatusClosed. Responses that
+// server lost a race with Store.Close) becomes StatusClosed; a Txn commit
+// that crossed its commit point but failed to apply becomes
+// StatusTxnIncomplete so clients can tell "committed, pending replay"
+// from "refused, nothing applied". Responses that
 // borrow pooled buffers (Scan pairs, varlen values) carry them in the
 // svResp wrapper for the writer to recycle. wid hints the per-opcode
 // striped counters.
@@ -539,6 +542,12 @@ func (c *conn) serve(ss *store.Session, req *wire.Request, wid int) svResp {
 			resp.Status = wire.StatusClosed
 		case errors.Is(err, store.ErrNoSpace):
 			resp.Status = wire.StatusNoSpace
+		case errors.Is(err, store.ErrTxnIncomplete):
+			// The transaction reached its commit point: it is durable
+			// and replays at the next reopen, but is not yet visible.
+			// ErrReopenRequired (a later commit refused by the latch)
+			// stays StatusErr — that one really did apply nothing.
+			resp.Status = wire.StatusTxnIncomplete
 		}
 		resp.Msg = err.Error()
 		resp.VVal, resp.VPairs, resp.KPairs = nil, nil, nil

@@ -112,6 +112,10 @@ func (ss *Session) PutBytes(key uint64, val []byte) error {
 	if !ss.s.acquire() {
 		return ErrClosed
 	}
+	if err := ss.s.writable(); err != nil {
+		ss.s.release()
+		return err
+	}
 	if ss.sampleOp() {
 		defer ss.s.met.putBytes.RecordSince(time.Now())
 	}

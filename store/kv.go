@@ -320,6 +320,10 @@ func (ss *Session) PutKV(key, val []byte) error {
 	if !ss.s.acquire() {
 		return ErrClosed
 	}
+	if err := ss.s.writable(); err != nil {
+		ss.s.release()
+		return err
+	}
 	if ss.sampleOp() {
 		defer ss.s.met.putKV.RecordSince(time.Now())
 	}
@@ -466,6 +470,10 @@ func (ss *Session) DeleteKV(key []byte) (bool, error) {
 	}
 	if !ss.s.acquire() {
 		return false, ErrClosed
+	}
+	if err := ss.s.writable(); err != nil {
+		ss.s.release()
+		return false, err
 	}
 	if ss.sampleOp() {
 		defer ss.s.met.delKV.RecordSince(time.Now())

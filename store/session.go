@@ -95,6 +95,10 @@ func (ss *Session) Put(key, val uint64) error {
 	if !ss.s.acquire() {
 		return ErrClosed
 	}
+	if err := ss.s.writable(); err != nil {
+		ss.s.release()
+		return err
+	}
 	if ss.sampleOp() {
 		defer ss.s.met.put.RecordSince(time.Now())
 	}
@@ -135,6 +139,10 @@ func (ss *Session) Delete(key uint64) (bool, error) {
 	if !ss.s.acquire() {
 		return false, ErrClosed
 	}
+	if err := ss.s.writable(); err != nil {
+		ss.s.release()
+		return false, err
+	}
 	if ss.sampleOp() {
 		defer ss.s.met.del.RecordSince(time.Now())
 	}
@@ -166,6 +174,10 @@ func (ss *Session) PutBatch(pairs []KV) error {
 	}
 	if !ss.s.acquire() {
 		return ErrClosed
+	}
+	if err := ss.s.writable(); err != nil {
+		ss.s.release()
+		return err
 	}
 	if ss.sampleOp() {
 		defer ss.s.met.putBatch.RecordSince(time.Now())

@@ -74,6 +74,12 @@ type Options struct {
 	// transactions fail with ErrTxnTooLarge before writing anything.
 	// 0 picks a default scaled to ShardSize.
 	TxnLogCap int64
+
+	// recoverStep, when non-nil, is invoked by Reopen's transaction
+	// recovery after each shard replay and each log truncation — the
+	// recovery analogue of the commitStep hook, settable only from
+	// within the package (crash-matrix tests); nil in production.
+	recoverStep func()
 }
 
 // LatencyOptions is the external-facing slice of pmem.Config: the emulated
@@ -195,11 +201,36 @@ type Store struct {
 	// with a logged ID.
 	txnSeq atomic.Uint64
 
+	// txnFailed latches the store read-only after a Commit fails past
+	// its commit point (ErrTxnIncomplete): the committed transaction's
+	// redo records are still in a shard log, and any further commit's
+	// cleanup would truncate them while any further plain write could be
+	// silently superseded when Reopen replays them. While set, every
+	// mutation fails with ErrReopenRequired; reads proceed.
+	txnFailed atomic.Bool
+
 	// commitStep, when non-nil, is invoked by Txn.Commit after every
 	// persist-generating step of the commit protocol (each intent
-	// append, each commit mark, each shard apply, each truncation). Test
-	// hook for consistent-cut crash matrices; nil in production.
+	// append, each commit mark, each shard apply, each truncation) and
+	// by recoverTxns after each replay and truncation. Test hook for
+	// consistent-cut crash matrices; nil in production.
 	commitStep func()
+
+	// applyFault, when non-nil, is consulted by Txn.Commit before each
+	// shard's apply phase; a non-nil return is treated as that shard's
+	// apply failing after the commit point. Test hook for the
+	// ErrTxnIncomplete latch; nil in production.
+	applyFault func(shard int) error
+}
+
+// writable reports nil when the store accepts mutations, and
+// ErrReopenRequired once an incomplete transaction commit has latched it
+// read-only. Write paths check it after acquire; reads never do.
+func (s *Store) writable() error {
+	if s.txnFailed.Load() {
+		return ErrReopenRequired
+	}
+	return nil
 }
 
 type shard struct {
@@ -372,10 +403,14 @@ func Reopen(pools []*pmem.Pool, opts Options) (*Store, error) {
 	}
 	// With every shard rebuilt, settle in-flight transactions: replay the
 	// committed (a commit mark on ANY shard commits the transaction on
-	// every shard), discard the rest, and truncate the logs.
+	// every shard), discard the rest, and truncate the logs — replay
+	// strictly before truncation, so a crash during recovery never
+	// erases a commit mark other shards still need (see recoverTxns).
+	s.commitStep = opts.recoverStep
 	if err := s.recoverTxns(); err != nil {
 		return nil, err
 	}
+	s.commitStep = nil
 	return s, nil
 }
 

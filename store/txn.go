@@ -9,7 +9,6 @@ import (
 
 	"repro/index"
 	"repro/internal/txnlog"
-	"repro/internal/vlog"
 )
 
 // Multi-key ACID transactions. A Txn buffers writes — fixed-width and
@@ -40,10 +39,25 @@ import (
 // Recovery (Reopen → recoverTxns) scans every shard's log: intents whose
 // transaction has a mark anywhere are replayed — a replay of records a
 // crashed commit already applied is harmless because intents carry final
-// values — and everything else is discarded. At every consistent crash
-// cut this yields all-or-nothing: before the first mark no effect is
-// visible (applies had not started) and the intents are discarded; after
-// it, replay completes the transaction.
+// values — and everything else is discarded. Recovery replays EVERY
+// shard before truncating ANY log: each replayed write is durable
+// through the ordinary crash-consistent single-key paths, so a crash
+// mid-replay just replays again at the next reopen, while the logs — and
+// with them whichever single shard may hold a transaction's only commit
+// mark — stay intact until no shard needs them. At every consistent
+// crash cut, of the commit or of recovery itself, this yields
+// all-or-nothing: before the first mark no effect is visible (applies
+// had not started) and the intents are discarded; after it, replay
+// completes the transaction.
+//
+// A Commit that fails AFTER its commit point (a mark-append or apply
+// error — not a crash) returns ErrTxnIncomplete and latches the store
+// read-only: the committed transaction's redo records are still in the
+// shard logs awaiting replay, and any further commit's cleanup would
+// truncate them — durably losing a committed transaction — while any
+// further plain write could be silently superseded when Reopen replays
+// them. Until the pools are reopened, every mutation fails with
+// ErrReopenRequired; reads keep working.
 //
 // Isolation is write-side only: commits serialise against each other and
 // against plain writers per shard (applyMu), but readers never block —
@@ -62,8 +76,20 @@ var (
 	// ErrTxnIncomplete reports a Commit that reached its commit point but
 	// failed while applying to the trees. The transaction IS committed:
 	// its redo log survives, and the next Reopen replays it to
-	// completion. The store should be reopened before further writes.
+	// completion. The store latches read-only — every further mutation,
+	// plain or transactional, fails with ErrReopenRequired — so nothing
+	// can truncate or overtake the pending replay before the reopen.
 	ErrTxnIncomplete = errors.New("store: committed transaction applied incompletely (redo log retained for reopen)")
+	// ErrReopenRequired reports a mutation refused because an earlier
+	// Commit on this store failed after its commit point
+	// (ErrTxnIncomplete): the committed transaction's redo records are
+	// still in the shard logs awaiting replay, so the store only serves
+	// reads. A further commit would truncate those records as part of
+	// its own cleanup — durably losing the committed transaction — and a
+	// further plain write could be silently superseded when Reopen
+	// replays them. Reopen the pools to replay the pending transaction
+	// and clear the condition.
+	ErrReopenRequired = errors.New("store: committed transaction awaits replay; store is read-only until reopened")
 )
 
 // Intent payload encoding: a flat sequence of ops, each
@@ -450,8 +476,22 @@ func (tx *Txn) commitLocked(parts []int, ops [][]txnOp, payloads [][]byte) (stal
 	// Pre-flight: everything that can refuse must refuse before the
 	// first byte hits a redo log, so failure is a clean abort. With
 	// applyMu held exclusively no other writer can move the projections.
+	// Checked under the locks so a commit racing the failing one cannot
+	// slip past before the latch is set.
+	if s.txnFailed.Load() {
+		return nil, ErrReopenRequired
+	}
 	for _, i := range parts {
 		tl := s.shards[i].tl
+		if n := tl.Len(); n != 0 {
+			// A non-empty redo log at commit entry means a committed
+			// transaction's records still await replay (its apply or
+			// truncation never finished). Never truncate them — the
+			// abort paths below Truncate — so latch and refuse until
+			// the store is reopened.
+			s.txnFailed.Store(true)
+			return nil, fmt.Errorf("%w (shard %d redo log holds %d bytes)", ErrReopenRequired, i, n)
+		}
 		if txnlog.RecordSize(len(payloads[i]))+txnlog.RecordSize(0) > tl.Capacity() {
 			return nil, fmt.Errorf("%w: %d bytes of intents for shard %d, log capacity %d",
 				ErrTxnTooLarge, len(payloads[i]), i, tl.Capacity())
@@ -485,17 +525,29 @@ func (tx *Txn) commitLocked(parts []int, ops [][]txnOp, payloads [][]byte) (stal
 				}
 				return nil, fmt.Errorf("store: txn commit mark on shard %d: %w", i, aerr)
 			}
+			s.txnFailed.Store(true)
 			return nil, fmt.Errorf("%w: mark append on shard %d: %v", ErrTxnIncomplete, i, aerr)
 		}
 		s.step()
 	}
 	// Apply through the same paths plain writes use.
 	for _, i := range parts {
-		stale, aerr := ss.applyTxnOps(i, ops[i])
+		var aerr error
+		var stale bool
+		if s.applyFault != nil {
+			aerr = s.applyFault(i)
+		}
+		if aerr == nil {
+			stale, aerr = ss.applyTxnOps(i, ops[i])
+		}
 		if stale {
 			staleShards = append(staleShards, i)
 		}
 		if aerr != nil {
+			// Past the commit point with the apply unfinished: latch the
+			// store read-only (see ErrReopenRequired) so the surviving
+			// redo records reach the next Reopen intact.
+			s.txnFailed.Store(true)
 			return staleShards, fmt.Errorf("%w: apply on shard %d: %v", ErrTxnIncomplete, i, aerr)
 		}
 		s.step()
@@ -508,22 +560,21 @@ func (tx *Txn) commitLocked(parts []int, ops [][]txnOp, payloads [][]byte) (stal
 	return staleShards, nil
 }
 
-// admitTxnOps pre-admits shard i's byte-key rewrites: projected bucket
-// images must fit the record bound, and the value log must admit the
-// projected append volume (with one inline compaction attempt, like
-// admitKV). Projections read the tree advisorily; with applyMu held
-// exclusively only GC can move words, and relocation preserves sizes.
+// admitTxnOps pre-admits shard i's byte-key rewrites: every touched
+// prefix must currently hold a valid bucket (or nothing), projected
+// bucket images must fit the record bound, and the value log must admit
+// the projected append volume (with one inline compaction attempt, like
+// admitKV). With applyMu held exclusively only GC can move words, and
+// relocation preserves content and sizes.
 func (ss *Session) admitTxnOps(i int, ops []txnOp) error {
-	sh := &ss.s.shards[i]
-	th := ss.ths[i]
 	need := 0
 	for _, op := range ops {
 		switch op.kind {
 		case txnOpPutKV:
 			p := PackPrefix(op.bkey)
-			cur := 0
-			if ref, ok := sh.ix.Get(th, p); ok {
-				cur = vlog.Ref(ref).Len()
+			cur, err := ss.projectBucket(i, p)
+			if err != nil {
+				return err
 			}
 			proj := cur + kvEntryHdr + len(op.bkey) + len(op.bval)
 			if proj > maxBucket {
@@ -533,15 +584,39 @@ func (ss *Session) admitTxnOps(i int, ops []txnOp) error {
 		case txnOpDelKV:
 			// A delete rewrites the bucket minus one entry: bounded by
 			// the current image.
-			if ref, ok := sh.ix.Get(th, PackPrefix(op.bkey)); ok {
-				need += vlog.Ref(ref).Len()
+			cur, err := ss.projectBucket(i, PackPrefix(op.bkey))
+			if err != nil {
+				return err
 			}
+			need += cur
 		}
 	}
 	if need == 0 {
 		return nil
 	}
 	return ss.admitKV(i, need)
+}
+
+// projectBucket resolves and validates prefix p's current bucket on
+// shard i, returning its payload size (0 when the prefix is vacant).
+// Unlike the plain paths' advisory Ref-length projection, a commit's
+// pre-flight must fully validate here: a prefix whose word was written
+// through a uint64 API — or any payload failing bucket parse — would
+// otherwise surface only inside the apply phase, AFTER the commit point,
+// turning a client-addressable state error (ErrNotKeyed) into
+// ErrTxnIncomplete and a latched store.
+func (ss *Session) projectBucket(i int, p uint64) (size int, err error) {
+	sh := &ss.s.shards[i]
+	sh.gc.varMu.RLock()
+	defer sh.gc.varMu.RUnlock()
+	b, ok, err := ss.readBucket(i, p, 0, false)
+	if err != nil || !ok {
+		return 0, err
+	}
+	if perr := parseBucket(p, b, func(_, _ []byte) bool { return true }); perr != nil {
+		return 0, wrapKVReadErr(p, perr)
+	}
+	return len(b), nil
 }
 
 // applyTxnOps applies one shard's decoded ops in order through the plain
@@ -590,6 +665,20 @@ func (ss *Session) applyTxnOps(i int, ops []txnOp) (stale bool, err error) {
 // every shard's index, value log and accounting are rebuilt; replayed
 // writes go through the ordinary apply paths and feed the ordinary
 // accounting.
+//
+// Recovery itself must survive a crash, so it runs in three strict
+// phases — decode everything, replay everything, then truncate
+// everything. Replay-before-truncate is the load-bearing order: when the
+// original crash landed in the mark-append window, ONE shard holds the
+// transaction's only commit mark, and truncating that shard's log before
+// the other shards replayed would erase the commit point — a second
+// crash would then make the next recovery discard the other shards'
+// intents as uncommitted, leaving a committed transaction half-applied.
+// With the phase order, a crash anywhere during replay leaves every log
+// (and every mark) intact for the next recovery to redo idempotently,
+// and a crash anywhere during truncation is past the point where every
+// shard's effects are durably applied, so surviving intents — marked or
+// orphaned — describe writes the trees already hold.
 func (s *Store) recoverTxns() error {
 	ss := s.NewSession()
 	defer ss.Close()
@@ -607,8 +696,11 @@ func (s *Store) recoverTxns() error {
 	if empty {
 		return nil
 	}
+	// Phase 1: decode every shard's committed intents, fail-closed —
+	// an undecodable payload aborts recovery before anything is applied
+	// or truncated.
+	ops := make([][]txnOp, len(s.shards))
 	for i := range s.shards {
-		var ops []txnOp
 		var derr error
 		s.shards[i].tl.Scan(ss.ths[i], func(r txnlog.Rec) bool {
 			if r.Kind != txnlog.KindIntent || !committed[r.ID] {
@@ -619,16 +711,29 @@ func (s *Store) recoverTxns() error {
 				derr = err
 				return false
 			}
-			ops = append(ops, decoded...)
+			ops[i] = append(ops[i], decoded...)
 			return true
 		})
 		if derr != nil {
 			return fmt.Errorf("store: shard %d txn recovery: %w", i, derr)
 		}
-		if _, err := ss.applyTxnOps(i, ops); err != nil {
+	}
+	// Phase 2: replay every shard. Each replayed write is durable through
+	// the ordinary crash-consistent single-key paths before the loop
+	// moves on; no log is touched yet.
+	for i := range s.shards {
+		if len(ops[i]) == 0 {
+			continue
+		}
+		if _, err := ss.applyTxnOps(i, ops[i]); err != nil {
 			return fmt.Errorf("store: shard %d txn replay: %w", i, err)
 		}
+		s.step()
+	}
+	// Phase 3: every shard's effects are durable; drop the logs.
+	for i := range s.shards {
 		s.shards[i].tl.Truncate(ss.ths[i])
+		s.step()
 	}
 	return nil
 }

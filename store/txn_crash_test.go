@@ -530,3 +530,335 @@ func TestTxnCrashRandomCampaign(t *testing.T) {
 		})
 	}
 }
+
+// txnRecoveryDoubleCrashMatrix proves the recovery protocol is itself
+// crash-consistent. It crashes a cross-shard commit (first crash), tapes
+// the recovery Reopen runs on that image, crashes THAT recovery at its
+// consistent cuts (second crash), and requires the final recovery to land
+// on the same all-or-nothing verdict the uninterrupted recovery reached.
+// The pivotal first-crash window is mark-append — exactly one shard holds
+// the transaction's only commit mark — where truncating any log before
+// every shard replayed would let a second crash erase the commit point
+// and strand a committed transaction half-applied.
+func txnRecoveryDoubleCrashMatrix(t *testing.T, model pmem.MemModel) {
+	rng := rand.New(rand.NewSource(20260808))
+	const shards = 2
+	st, err := Open(Options{
+		Shards:    shards,
+		ShardSize: 8 << 20,
+		Mem:       pmem.Config{TrackCrashes: true, Model: model},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := st.NewSession()
+
+	committed := map[uint64]uint64{}
+	for i := uint64(0); i < 50; i++ {
+		if err := ss.Put(i, i+3); err != nil {
+			t.Fatal(err)
+		}
+		committed[i] = i + 3
+	}
+	// One insert and one overwrite per shard, plus a byte key, so every
+	// shard both logs an intent and holds a commit mark.
+	var insertKeys, overKeys []uint64
+	seenIns := map[int]bool{}
+	seenOver := map[int]bool{}
+	for k := uint64(3000); len(insertKeys) < shards || len(overKeys) < shards; k++ {
+		sh := st.ShardFor(k)
+		if !seenIns[sh] {
+			seenIns[sh] = true
+			insertKeys = append(insertKeys, k)
+		} else if !seenOver[sh] {
+			seenOver[sh] = true
+			overKeys = append(overKeys, k)
+		}
+		if k > 100000 {
+			t.Fatal("could not spread keys over shards")
+		}
+	}
+	for _, k := range overKeys {
+		if err := ss.Put(k, 9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bkey := []byte("double-crash-kv")
+	preKV := []byte("kv-first")
+	postKV := bytes.Repeat([]byte{0xdd}, 150)
+	if err := ss.PutKV(bkey, preKV); err != nil {
+		t.Fatal(err)
+	}
+	var effects []txnEffect
+	for _, k := range insertKeys {
+		effects = append(effects, txnEffect{fixed: true, key: k, pre: nil, post: u64p(k * 2)})
+	}
+	for _, k := range overKeys {
+		effects = append(effects, txnEffect{fixed: true, key: k, pre: u64p(9), post: u64p(k * 3)})
+	}
+	effects = append(effects, txnEffect{bkey: bkey, preKV: preKV, postKV: postKV})
+
+	for i := 0; i < shards; i++ {
+		st.Pool(i).StartCrashLog()
+	}
+	snap := func() []int {
+		v := make([]int, shards)
+		for i := 0; i < shards; i++ {
+			v[i] = st.Pool(i).LogLen()
+		}
+		return v
+	}
+	vectors := [][]int{snap()}
+	st.commitStep = func() { vectors = append(vectors, snap()) }
+	tx := ss.Begin()
+	for _, k := range insertKeys {
+		if err := tx.Put(k, k*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range overKeys {
+		if err := tx.Put(k, k*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.PutKV(bkey, postKV); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	st.commitStep = nil
+	if len(vectors) != 4*shards+1 {
+		t.Fatalf("%d step vectors for a %d-shard txn, want %d", len(vectors), shards, 4*shards+1)
+	}
+
+	// checkState asserts invariants and the untouched population on a
+	// reopened store, then classifies it pre- or post-transaction.
+	checkState := func(re *Store, tag string) bool {
+		t.Helper()
+		if err := re.CheckInvariants(); err != nil {
+			t.Fatalf("%s: invariants: %v", tag, err)
+		}
+		rs := re.NewSession()
+		defer rs.Close()
+		for k, v := range committed {
+			got, ok, err := rs.Get(k)
+			if err != nil || !ok || got != v {
+				t.Fatalf("%s: committed key %d: got=%d ok=%v err=%v", tag, k, got, ok, err)
+			}
+		}
+		return checkAtomic(t, rs, effects, tag)
+	}
+
+	// Boundary verdicts locate the commit point: the first boundary whose
+	// uninterrupted recovery lands post-txn is the cut where the first
+	// commit mark persisted.
+	refVerdict := func(cut []int, tag string) bool {
+		t.Helper()
+		imgs := make([]*pmem.Pool, shards)
+		for i := 0; i < shards; i++ {
+			imgs[i] = st.Pool(i).CrashImage(cut[i], pmem.CrashAll, rng)
+		}
+		re, err := Reopen(imgs, Options{})
+		if err != nil {
+			t.Fatalf("%s: ref reopen: %v", tag, err)
+		}
+		post := checkState(re, tag+" ref")
+		re.Close()
+		return post
+	}
+	verdicts := make([]bool, len(vectors))
+	for s := range vectors {
+		verdicts[s] = refVerdict(vectors[s], fmt.Sprintf("boundary %d", s))
+	}
+	last := len(vectors) - 1
+	if verdicts[0] {
+		t.Fatal("post-txn before any persist")
+	}
+	if !verdicts[last] {
+		t.Fatal("completed commit not post-txn at full tape")
+	}
+	flip := -1
+	for s := 1; s < len(vectors); s++ {
+		if verdicts[s] {
+			flip = s
+			break
+		}
+	}
+	for s := flip; s < len(vectors); s++ {
+		if !verdicts[s] {
+			t.Fatalf("verdict regressed at boundary %d", s)
+		}
+	}
+
+	// First-crash cuts: the boundary before the commit point, every
+	// interior point of the flip segment and (full mode) its successor —
+	// the mark-append window — plus an apply-phase boundary and the full
+	// tape.
+	type outerCut struct {
+		cut []int
+		tag string
+	}
+	var outers []outerCut
+	addSeg := func(s int) {
+		prev, cur := vectors[s-1], vectors[s]
+		adv := -1
+		for i := 0; i < shards; i++ {
+			if cur[i] != prev[i] {
+				if adv != -1 {
+					t.Fatalf("commit segment %d: pools %d and %d both advanced (%v -> %v)", s, adv, i, prev, cur)
+				}
+				adv = i
+			}
+		}
+		if adv == -1 {
+			return
+		}
+		for p := prev[adv] + 1; p <= cur[adv]; p++ {
+			c := append([]int(nil), prev...)
+			c[adv] = p
+			outers = append(outers, outerCut{c, fmt.Sprintf("seg %d pool %d point %d/%d", s, adv, p, cur[adv])})
+		}
+	}
+	outers = append(outers, outerCut{vectors[flip-1], fmt.Sprintf("boundary %d (pre-mark)", flip-1)})
+	addSeg(flip)
+	if !testing.Short() {
+		if flip+1 <= last {
+			addSeg(flip + 1)
+		}
+		mid := (flip + 1 + last) / 2
+		outers = append(outers, outerCut{vectors[mid], fmt.Sprintf("boundary %d (mid-apply)", mid)})
+	}
+	outers = append(outers, outerCut{vectors[last], fmt.Sprintf("boundary %d (full tape)", last)})
+
+	sampleCap := 6
+	if testing.Short() {
+		sampleCap = 3
+	}
+	doubles := 0
+	for _, oc := range outers {
+		// Deterministic first-crash images: one set cloned (with tracking
+		// re-enabled) for the taped recovery, the original reopened
+		// uninterrupted for the expected verdict. CrashAll is
+		// deterministic, so both sets are bit-identical.
+		first := make([]*pmem.Pool, shards)
+		tapes := make([]*pmem.Pool, shards)
+		for i := 0; i < shards; i++ {
+			first[i] = st.Pool(i).CrashImage(oc.cut[i], pmem.CrashAll, rng)
+			tapes[i] = first[i].Clone(true)
+		}
+		re, err := Reopen(first, Options{})
+		if err != nil {
+			t.Fatalf("%s: first reopen: %v", oc.tag, err)
+		}
+		want := checkState(re, oc.tag+" uninterrupted")
+		re.Close()
+		if want != verdicts[last] && want != verdicts[0] {
+			t.Fatalf("%s: impossible verdict", oc.tag) // unreachable; checkState already fatals on mixed
+		}
+
+		// Tape the recovery running on the cloned first-crash image.
+		for i := 0; i < shards; i++ {
+			tapes[i].StartCrashLog()
+		}
+		rsnap := func() []int {
+			v := make([]int, shards)
+			for i := 0; i < shards; i++ {
+				v[i] = tapes[i].LogLen()
+			}
+			return v
+		}
+		rvecs := [][]int{rsnap()}
+		re2, err := Reopen(tapes, Options{recoverStep: func() { rvecs = append(rvecs, rsnap()) }})
+		if err != nil {
+			t.Fatalf("%s: taped reopen: %v", oc.tag, err)
+		}
+		if got := checkState(re2, oc.tag+" taped"); got != want {
+			t.Fatalf("%s: taped recovery verdict post=%v, uninterrupted post=%v", oc.tag, got, want)
+		}
+		re2.Close()
+
+		// Second crash at the taped recovery's consistent cuts: whatever
+		// the interruption, the next (uninterrupted) recovery must land on
+		// the same verdict — a committed transaction stays committed, an
+		// uncommitted one stays invisible. The stretch before the first
+		// recoverStep firing covers Reopen's per-shard rebuild, where
+		// several pools advance between hooks; only its closing boundary
+		// is a provable consistent cut. From the first firing on, recovery
+		// is single-threaded and exactly one pool advances per segment.
+		examine2 := func(cut []int, tag2 string) {
+			t.Helper()
+			for _, mode := range []pmem.CrashMode{pmem.CrashAll, pmem.CrashRandom} {
+				imgs := make([]*pmem.Pool, shards)
+				for i := 0; i < shards; i++ {
+					imgs[i] = tapes[i].CrashImage(cut[i], mode, rng)
+				}
+				mtag := fmt.Sprintf("%s / second crash %s mode %d", oc.tag, tag2, mode)
+				re3, err := Reopen(imgs, Options{})
+				if err != nil {
+					t.Fatalf("%s: reopen: %v", mtag, err)
+				}
+				if got := checkState(re3, mtag); got != want {
+					t.Fatalf("%s: double-crash verdict post=%v, uninterrupted post=%v", mtag, got, want)
+				}
+				// Fully recovered: the store takes fresh commits again.
+				rs := re3.NewSession()
+				ftx := rs.Begin()
+				if err := ftx.Put(88000, 1); err != nil {
+					t.Fatalf("%s: post-recovery buffer: %v", mtag, err)
+				}
+				if err := ftx.Commit(); err != nil {
+					t.Fatalf("%s: post-recovery commit: %v", mtag, err)
+				}
+				rs.Close()
+				re3.Close()
+				doubles++
+			}
+		}
+		for s := 1; s < len(rvecs); s++ {
+			prev, cur := rvecs[s-1], rvecs[s]
+			adv, multi := -1, false
+			for i := 0; i < shards; i++ {
+				if cur[i] != prev[i] {
+					if adv != -1 {
+						multi = true
+					}
+					adv = i
+				}
+			}
+			if adv == -1 {
+				continue
+			}
+			if multi || s == 1 {
+				examine2(cur, fmt.Sprintf("rseg %d boundary", s))
+				continue
+			}
+			span := cur[adv] - prev[adv]
+			points := []int{prev[adv] + 1, cur[adv]}
+			if span <= sampleCap {
+				points = points[:0]
+				for p := prev[adv] + 1; p <= cur[adv]; p++ {
+					points = append(points, p)
+				}
+			} else {
+				for len(points) < sampleCap {
+					points = append(points, prev[adv]+1+rng.Intn(span))
+				}
+			}
+			for _, p := range points {
+				c := append([]int(nil), prev...)
+				c[adv] = p
+				examine2(c, fmt.Sprintf("rseg %d pool %d point %d/%d", s, adv, p, cur[adv]))
+			}
+		}
+	}
+	if doubles == 0 {
+		t.Fatal("no double-crash cuts examined")
+	}
+	t.Logf("examined %d double-crash cuts over %d first-crash cuts (commit point at boundary %d)", doubles, len(outers), flip)
+	ss.Close()
+	st.Close()
+}
+
+func TestTxnRecoveryDoubleCrash(t *testing.T)       { txnRecoveryDoubleCrashMatrix(t, pmem.TSO) }
+func TestTxnRecoveryDoubleCrashNonTSO(t *testing.T) { txnRecoveryDoubleCrashMatrix(t, pmem.NonTSO) }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"testing"
+
+	"repro/internal/txnlog"
 )
 
 // Unit coverage for the transaction API: write-set semantics
@@ -510,4 +512,240 @@ func TestTxnReopenAfterManyCommits(t *testing.T) {
 		t.Fatal(err)
 	}
 	st.Close()
+}
+
+// TestTxnIncompleteLatchesStoreReadOnly drives a commit past its commit
+// point into an injected apply failure and proves the store latches
+// read-only: every further mutation — transactional or plain, fixed-width
+// or byte-keyed — fails with ErrReopenRequired, reads keep serving, the
+// redo records survive untouched, and a Reopen replays the committed
+// transaction and lifts the latch.
+func TestTxnIncompleteLatchesStoreReadOnly(t *testing.T) {
+	st, err := Open(Options{Shards: 2, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := st.NewSession()
+
+	if err := ss.Put(10, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.PutKV([]byte("stable"), []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A cross-shard transaction whose apply phase fails on its first
+	// shard: the commit marks are durable, nothing is applied.
+	var insertKeys []uint64
+	seen := map[int]bool{}
+	for k := uint64(5000); len(insertKeys) < 2; k++ {
+		if sh := st.ShardFor(k); !seen[sh] {
+			seen[sh] = true
+			insertKeys = append(insertKeys, k)
+		}
+	}
+	st.applyFault = func(int) error { return errors.New("injected apply fault") }
+	tx := ss.Begin()
+	for _, k := range insertKeys {
+		if err := tx.Put(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = tx.Commit()
+	if !errors.Is(err, ErrTxnIncomplete) {
+		t.Fatalf("faulted commit: %v, want ErrTxnIncomplete", err)
+	}
+	st.applyFault = nil
+
+	// Both shards' redo logs still hold the committed records — the
+	// failure path must never truncate them.
+	for i := 0; i < 2; i++ {
+		if st.shards[i].tl.Len() == 0 {
+			t.Fatalf("shard %d redo log empty after incomplete commit", i)
+		}
+	}
+
+	// Every mutation path refuses with ErrReopenRequired.
+	if err := ss.Put(11, 1); !errors.Is(err, ErrReopenRequired) {
+		t.Fatalf("Put on latched store: %v", err)
+	}
+	if _, err := ss.Delete(10); !errors.Is(err, ErrReopenRequired) {
+		t.Fatalf("Delete on latched store: %v", err)
+	}
+	if err := ss.PutBatch([]KV{{Key: 12, Val: 2}}); !errors.Is(err, ErrReopenRequired) {
+		t.Fatalf("PutBatch on latched store: %v", err)
+	}
+	if err := ss.PutBytes(13, []byte("x")); !errors.Is(err, ErrReopenRequired) {
+		t.Fatalf("PutBytes on latched store: %v", err)
+	}
+	if _, err := ss.DeleteBytes(13); !errors.Is(err, ErrReopenRequired) {
+		t.Fatalf("DeleteBytes on latched store: %v", err)
+	}
+	if err := ss.PutKV([]byte("nope"), []byte("x")); !errors.Is(err, ErrReopenRequired) {
+		t.Fatalf("PutKV on latched store: %v", err)
+	}
+	if _, err := ss.DeleteKV([]byte("stable")); !errors.Is(err, ErrReopenRequired) {
+		t.Fatalf("DeleteKV on latched store: %v", err)
+	}
+	tx2 := ss.Begin()
+	if err := tx2.Put(14, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, ErrReopenRequired) {
+		t.Fatalf("Commit on latched store: %v", err)
+	}
+
+	// Reads keep serving the pre-transaction state.
+	if v, ok, err := ss.Get(10); err != nil || !ok || v != 100 {
+		t.Fatalf("Get on latched store: v=%d ok=%v err=%v", v, ok, err)
+	}
+	if v, ok, err := ss.GetKV([]byte("stable"), nil); err != nil || !ok || string(v) != "value" {
+		t.Fatalf("GetKV on latched store: ok=%v err=%v", ok, err)
+	}
+	for _, k := range insertKeys {
+		if _, ok, _ := ss.Get(k); ok {
+			t.Fatalf("unapplied txn key %d visible", k)
+		}
+	}
+	ss.Close()
+
+	// Reopen replays the committed transaction and lifts the latch.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Reopen(st.Pools(), Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := re.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	rs := re.NewSession()
+	for _, k := range insertKeys {
+		if v, ok, err := rs.Get(k); err != nil || !ok || v != k+1 {
+			t.Fatalf("replayed key %d: v=%d ok=%v err=%v", k, v, ok, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if n := re.shards[i].tl.Len(); n != 0 {
+			t.Fatalf("shard %d redo log holds %d bytes after recovery", i, n)
+		}
+	}
+	if err := rs.Put(11, 1); err != nil {
+		t.Fatalf("Put after reopen: %v", err)
+	}
+	tx3 := rs.Begin()
+	if err := tx3.Put(15, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatalf("Commit after reopen: %v", err)
+	}
+	rs.Close()
+	re.Close()
+}
+
+// TestTxnCommitRefusesNonEmptyRedoLog plants an orphan record directly in
+// a shard's redo log and proves Commit refuses with ErrReopenRequired
+// without touching the log: the abort paths Truncate, and truncating
+// records a crashed commit left behind would durably erase a committed
+// transaction.
+func TestTxnCommitRefusesNonEmptyRedoLog(t *testing.T) {
+	st, err := Open(Options{Shards: 1, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := st.NewSession()
+	if err := st.shards[0].tl.Append(ss.ths[0], 99, txnlog.KindIntent, []byte("orphan")); err != nil {
+		t.Fatal(err)
+	}
+	before := st.shards[0].tl.Len()
+	tx := ss.Begin()
+	if err := tx.Put(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrReopenRequired) {
+		t.Fatalf("commit over non-empty redo log: %v, want ErrReopenRequired", err)
+	}
+	if got := st.shards[0].tl.Len(); got != before {
+		t.Fatalf("redo log %d bytes after refused commit, was %d — commit touched it", got, before)
+	}
+	ss.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The unmarked orphan is discarded at reopen and the store works.
+	re, err := Reopen(st.Pools(), Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	rs := re.NewSession()
+	tx2 := rs.Begin()
+	if err := tx2.Put(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatalf("commit after reopen: %v", err)
+	}
+	rs.Close()
+	re.Close()
+}
+
+// TestTxnCrossFamilyRefusedAtPreflight points a transactional byte-key op
+// at a prefix word the fixed-width API owns. The collision must refuse at
+// pre-flight — a clean ErrNotKeyed abort, nothing logged, store still
+// writable — not surface during apply, which would be past the commit
+// point and latch the store over a client-addressable state error.
+func TestTxnCrossFamilyRefusedAtPreflight(t *testing.T) {
+	st, err := Open(Options{Shards: 1, ShardSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ss := st.NewSession()
+	defer ss.Close()
+
+	key := []byte("family-clash")
+	if err := ss.Put(PackPrefix(key), 12345); err != nil {
+		t.Fatal(err)
+	}
+	for _, build := range []func(*Txn) error{
+		func(tx *Txn) error { return tx.PutKV(key, []byte("v")) },
+		func(tx *Txn) error { return tx.DeleteKV(key) },
+	} {
+		tx := ss.Begin()
+		if err := build(tx); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Put(7, 8); err != nil {
+			t.Fatal(err)
+		}
+		err := tx.Commit()
+		if !errors.Is(err, ErrNotKeyed) {
+			t.Fatalf("cross-family commit: %v, want ErrNotKeyed", err)
+		}
+		if errors.Is(err, ErrTxnIncomplete) || errors.Is(err, ErrReopenRequired) {
+			t.Fatalf("cross-family commit escalated past a clean abort: %v", err)
+		}
+	}
+	if n := st.shards[0].tl.Len(); n != 0 {
+		t.Fatalf("redo log holds %d bytes after refused commits", n)
+	}
+	if _, ok, _ := ss.Get(7); ok {
+		t.Fatal("refused transaction's write visible")
+	}
+	if v, ok, _ := ss.Get(PackPrefix(key)); !ok || v != 12345 {
+		t.Fatal("colliding fixed-width key disturbed")
+	}
+	// The refusal is not sticky: an honest transaction still commits.
+	tx := ss.Begin()
+	if err := tx.Put(7, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.PutKV([]byte("fine"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("honest commit after refusals: %v", err)
+	}
 }

@@ -148,6 +148,16 @@ const (
 	// and deletes still work; the condition clears once compaction frees
 	// space. The payload is a message.
 	StatusNoSpace
+	// StatusTxnIncomplete reports a Txn commit that reached its durable
+	// commit point but failed while applying: the transaction IS
+	// committed — its redo records survive and the server's next store
+	// reopen replays it to completion — but its writes may not be
+	// visible yet, and the store serves reads only until then. Distinct
+	// from StatusErr (refused, nothing applied) so clients never
+	// misclassify a committed write-set as absent or safe to reissue.
+	// Sent only in response to OpTxn (both are revision 4), so peers
+	// that never send OpTxn never see it. The payload is a message.
+	StatusTxnIncomplete
 )
 
 func (st Status) String() string {
@@ -164,6 +174,8 @@ func (st Status) String() string {
 		return "Busy"
 	case StatusNoSpace:
 		return "NoSpace"
+	case StatusTxnIncomplete:
+		return "TxnIncomplete"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(st))
 	}
@@ -742,7 +754,8 @@ func AppendResponse(dst []byte, r *Response) ([]byte, error) {
 	dst = append(dst, byte(r.Op), byte(r.Status))
 	switch {
 	case r.Status == StatusErr || r.Status == StatusClosed ||
-		r.Status == StatusBusy || r.Status == StatusNoSpace:
+		r.Status == StatusBusy || r.Status == StatusNoSpace ||
+		r.Status == StatusTxnIncomplete:
 		dst = append(dst, r.Msg...)
 	case r.Status != StatusOK:
 		// NotFound and any forward-compatible status carry no payload.
@@ -839,7 +852,7 @@ func DecodeResponse(body []byte) (Response, error) {
 	r.Status = Status(body[9])
 	p := body[respHeader:]
 	switch r.Status {
-	case StatusErr, StatusClosed, StatusBusy, StatusNoSpace:
+	case StatusErr, StatusClosed, StatusBusy, StatusNoSpace, StatusTxnIncomplete:
 		r.Msg = string(p)
 		return r, nil
 	case StatusNotFound:

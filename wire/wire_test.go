@@ -101,6 +101,8 @@ func responseCases() []Response {
 		{ID: 30, Op: OpTxn, Status: StatusOK},
 		{ID: 31, Op: OpTxn, Status: StatusErr, Msg: "store: transaction exceeds redo-log capacity"},
 		{ID: 32, Op: OpTxn, Status: StatusNoSpace, Msg: "store: value log out of space"},
+		{ID: 33, Op: OpTxn, Status: StatusTxnIncomplete, Msg: "store: committed transaction applied incompletely"},
+		{ID: 34, Op: OpTxn, Status: StatusTxnIncomplete, Msg: ""},
 	}
 }
 
